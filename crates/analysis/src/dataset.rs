@@ -1,0 +1,237 @@
+//! Domain- and host-level rollups of campaign records.
+
+use quicspin_core::FlowClassification;
+use quicspin_scanner::{Campaign, ConnectionRecord, ScanOutcome};
+use quicspin_webpop::{HostAddr, ListKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Domain-level spin behaviour (Table 3 taxonomy at domain granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainClass {
+    /// No QUIC connection established.
+    NoQuic,
+    /// All observed packets zero on every connection.
+    AllZero,
+    /// All observed packets one on some connection, none spinning.
+    AllOne,
+    /// At least one genuinely spinning connection.
+    Spin,
+    /// At least one connection caught by the grease filter (and none
+    /// spinning).
+    Grease,
+}
+
+/// Rollup of one domain's connections in one campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainRollup {
+    /// Domain id.
+    pub domain_id: u32,
+    /// List membership.
+    pub list: ListKind,
+    /// Whether DNS resolved.
+    pub resolved: bool,
+    /// Whether at least one connection was established.
+    pub quic: bool,
+    /// Spin behaviour.
+    pub class: DomainClass,
+    /// Host of the domain (if any connection reached one).
+    pub host: Option<HostAddr>,
+}
+
+/// Per-campaign summary: the material for Tables 1/3/4.
+#[derive(Debug, Clone)]
+pub struct CampaignSummary {
+    /// One rollup per scanned domain.
+    pub domains: Vec<DomainRollup>,
+    /// Per-host rollup: does the host show spin activity on ≥ 1 conn?
+    pub hosts: BTreeMap<HostAddr, bool>,
+}
+
+fn classify_domain(records: &[&ConnectionRecord]) -> DomainClass {
+    let mut any_quic = false;
+    let mut any_spin = false;
+    let mut any_grease = false;
+    let mut any_one = false;
+    for r in records {
+        if r.outcome != ScanOutcome::Ok {
+            continue;
+        }
+        any_quic = true;
+        if let Some(report) = &r.report {
+            match report.classification {
+                FlowClassification::Spinning => any_spin = true,
+                FlowClassification::Greased => any_grease = true,
+                FlowClassification::AllOne => any_one = true,
+                FlowClassification::AllZero | FlowClassification::NoShortPackets => {}
+            }
+        }
+    }
+    if !any_quic {
+        DomainClass::NoQuic
+    } else if any_spin {
+        DomainClass::Spin
+    } else if any_grease {
+        DomainClass::Grease
+    } else if any_one {
+        DomainClass::AllOne
+    } else {
+        DomainClass::AllZero
+    }
+}
+
+impl CampaignSummary {
+    /// Builds the summary from a campaign.
+    pub fn build(campaign: &Campaign) -> Self {
+        let mut per_domain: BTreeMap<u32, Vec<&ConnectionRecord>> = BTreeMap::new();
+        for r in &campaign.records {
+            per_domain.entry(r.domain_id).or_default().push(r);
+        }
+        let mut domains = Vec::with_capacity(per_domain.len());
+        let mut hosts: BTreeMap<HostAddr, bool> = BTreeMap::new();
+        for (domain_id, records) in per_domain {
+            let first = records[0];
+            let resolved = first.outcome != ScanOutcome::NotResolved;
+            let class = classify_domain(&records);
+            let quic = class != DomainClass::NoQuic;
+            let host = records.iter().find_map(|r| r.host);
+            if quic {
+                if let Some(host) = host {
+                    let spin_here =
+                        matches!(class, DomainClass::Spin) || records.iter().any(|r| r.has_spin_activity());
+                    let entry = hosts.entry(host).or_insert(false);
+                    *entry |= spin_here;
+                }
+            }
+            domains.push(DomainRollup {
+                domain_id,
+                list: first.list,
+                resolved,
+                quic,
+                class,
+                host,
+            });
+        }
+        CampaignSummary { domains, hosts }
+    }
+
+    /// Domains of one list selection.
+    pub fn domains_in<'a>(
+        &'a self,
+        filter: impl Fn(ListKind) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a DomainRollup> {
+        self.domains.iter().filter(move |d| filter(d.list))
+    }
+
+    /// Hosts serving at least one QUIC domain of the list selection,
+    /// with their spin flag.
+    pub fn hosts_in(&self, filter: impl Fn(ListKind) -> bool) -> BTreeMap<HostAddr, bool> {
+        let mut out: BTreeMap<HostAddr, bool> = BTreeMap::new();
+        for d in self.domains.iter().filter(|d| d.quic && filter(d.list)) {
+            if let Some(host) = d.host {
+                let spin = matches!(d.class, DomainClass::Spin);
+                let entry = out.entry(host).or_insert(false);
+                *entry |= spin;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicspin_core::ObserverReport;
+    use quicspin_webpop::{IpVersion, Org};
+
+    fn record(
+        domain_id: u32,
+        outcome: ScanOutcome,
+        class: Option<FlowClassification>,
+    ) -> ConnectionRecord {
+        let mut r = ConnectionRecord::failed(
+            domain_id,
+            ListKind::ZoneComNetOrg,
+            Org::Hostinger,
+            0,
+            IpVersion::V4,
+            outcome,
+        );
+        if outcome == ScanOutcome::Ok {
+            r.host = Some(HostAddr {
+                version: IpVersion::V4,
+                org: Org::Hostinger,
+                host_index: u64::from(domain_id % 2),
+            });
+            r.report = class.map(|c| ObserverReport {
+                classification: c,
+                packets: 5,
+                spin_samples_received_us: vec![],
+                spin_samples_sorted_us: vec![],
+                stack_samples_us: vec![40_000],
+            });
+        }
+        r
+    }
+
+    fn campaign(records: Vec<ConnectionRecord>) -> Campaign {
+        Campaign {
+            week: 0,
+            version: IpVersion::V4,
+            records,
+        }
+    }
+
+    #[test]
+    fn domain_classification_priorities() {
+        // Spin wins over grease; grease over all-one; all-one over all-zero.
+        let c = campaign(vec![
+            record(1, ScanOutcome::Ok, Some(FlowClassification::AllZero)),
+            record(1, ScanOutcome::Ok, Some(FlowClassification::Spinning)),
+            record(2, ScanOutcome::Ok, Some(FlowClassification::Greased)),
+            record(2, ScanOutcome::Ok, Some(FlowClassification::AllOne)),
+            record(3, ScanOutcome::Ok, Some(FlowClassification::AllOne)),
+            record(4, ScanOutcome::Ok, Some(FlowClassification::AllZero)),
+            record(5, ScanOutcome::NoQuic, None),
+            record(6, ScanOutcome::NotResolved, None),
+        ]);
+        let s = CampaignSummary::build(&c);
+        let class_of = |id: u32| s.domains.iter().find(|d| d.domain_id == id).unwrap().class;
+        assert_eq!(class_of(1), DomainClass::Spin);
+        assert_eq!(class_of(2), DomainClass::Grease);
+        assert_eq!(class_of(3), DomainClass::AllOne);
+        assert_eq!(class_of(4), DomainClass::AllZero);
+        assert_eq!(class_of(5), DomainClass::NoQuic);
+        assert_eq!(class_of(6), DomainClass::NoQuic);
+        let d6 = s.domains.iter().find(|d| d.domain_id == 6).unwrap();
+        assert!(!d6.resolved);
+    }
+
+    #[test]
+    fn host_rollup_aggregates_spin_over_domains() {
+        // Domains 1 (spin) and 3 (all-zero) share host 1; domain 2 on host 0.
+        let c = campaign(vec![
+            record(1, ScanOutcome::Ok, Some(FlowClassification::Spinning)),
+            record(3, ScanOutcome::Ok, Some(FlowClassification::AllZero)),
+            record(2, ScanOutcome::Ok, Some(FlowClassification::AllZero)),
+        ]);
+        let s = CampaignSummary::build(&c);
+        assert_eq!(s.hosts.len(), 2);
+        let spin_hosts = s.hosts.values().filter(|&&v| v).count();
+        assert_eq!(spin_hosts, 1, "host with domain 1 spins");
+    }
+
+    #[test]
+    fn list_filters() {
+        let mut r1 = record(1, ScanOutcome::Ok, Some(FlowClassification::AllZero));
+        r1.list = ListKind::Toplist;
+        let r2 = record(2, ScanOutcome::Ok, Some(FlowClassification::Spinning));
+        let c = campaign(vec![r1, r2]);
+        let s = CampaignSummary::build(&c);
+        assert_eq!(s.domains_in(|l| l == ListKind::Toplist).count(), 1);
+        assert_eq!(s.domains_in(ListKind::is_czds).count(), 1);
+        let czds_hosts = s.hosts_in(ListKind::is_czds);
+        assert_eq!(czds_hosts.len(), 1);
+        assert!(czds_hosts.values().all(|&v| v));
+    }
+}

@@ -1,0 +1,171 @@
+//! Fig. 2: longitudinal RFC-compliance histogram plus binomial theory.
+//!
+//! The paper selects n = 12 measurement weeks, keeps the domains that
+//! spun at least once and were reachable in every week, and plots the
+//! share of domains per number-of-spinning-weeks. It compares against
+//! "RFC values computed using probability theory": if a domain always has
+//! the spin bit deployed and only the per-connection 1-in-N disable rule
+//! applies, the number of spinning weeks is Binomial(n, p) with
+//! p = 15/16 (RFC 9000) or p = 7/8 (RFC 9312), conditioned on ≥ 1
+//! spinning week (the selection criterion).
+
+use quicspin_scanner::LongitudinalResult;
+use serde::{Deserialize, Serialize};
+
+/// Binomial coefficient (exact for the small n used here).
+fn binomial_coeff(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1.0f64;
+    for i in 0..k {
+        result = result * (n - i) as f64 / (i + 1) as f64;
+    }
+    result
+}
+
+/// P(X = k) for X ~ Binomial(n, p); zero for k > n.
+pub fn binomial_pmf(n: u32, k: u32, p: f64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    binomial_coeff(u64::from(n), u64::from(k))
+        * p.powi(k as i32)
+        * (1.0 - p).powi((n - k) as i32)
+}
+
+/// Binomial distribution over k = 1..=n, conditioned on k ≥ 1.
+pub fn rfc_theory(n: u32, p: f64) -> Vec<f64> {
+    let p_zero = binomial_pmf(n, 0, p);
+    let denom = 1.0 - p_zero;
+    (1..=n).map(|k| binomial_pmf(n, k, p) / denom).collect()
+}
+
+/// The complete Fig. 2 artefact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LongitudinalFigure {
+    /// Number of selected weeks (n).
+    pub n_weeks: u32,
+    /// Number of domains that ever spun.
+    pub ever_spun: u64,
+    /// Number of those reachable every week (the histogram denominator).
+    pub always_reachable: u64,
+    /// Observed share per k = 1..=n spinning weeks.
+    pub observed: Vec<f64>,
+    /// RFC 9000 theory (p = 15/16).
+    pub rfc9000: Vec<f64>,
+    /// RFC 9312 theory (p = 7/8).
+    pub rfc9312: Vec<f64>,
+}
+
+impl LongitudinalFigure {
+    /// Builds the figure from the longitudinal scan result.
+    pub fn from_result(result: &LongitudinalResult) -> Self {
+        let n = result.n_weeks;
+        LongitudinalFigure {
+            n_weeks: n,
+            ever_spun: result.ever_spun.len() as u64,
+            always_reachable: result.always_reachable().count() as u64,
+            observed: result.histogram(),
+            rfc9000: rfc_theory(n, 15.0 / 16.0),
+            rfc9312: rfc_theory(n, 7.0 / 8.0),
+        }
+    }
+
+    /// Share of domains spinning in all n weeks.
+    pub fn observed_all_weeks(&self) -> f64 {
+        *self.observed.last().unwrap_or(&0.0)
+    }
+
+    /// Whether the observed population spins less than a theory predicts
+    /// (the paper's compliance conclusion): the all-weeks bucket falls
+    /// below the theoretical one.
+    pub fn spins_less_than(&self, theory: &[f64]) -> bool {
+        self.observed_all_weeks() < *theory.last().unwrap_or(&0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicspin_scanner::DomainWeeks;
+
+    #[test]
+    fn binomial_pmf_basics() {
+        assert!((binomial_pmf(1, 0, 0.5) - 0.5).abs() < 1e-12);
+        assert!((binomial_pmf(1, 1, 0.5) - 0.5).abs() < 1e-12);
+        assert!((binomial_pmf(2, 1, 0.5) - 0.5).abs() < 1e-12);
+        assert!((binomial_pmf(12, 12, 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(binomial_pmf(3, 4, 0.5), 0.0);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for &p in &[0.1, 0.5, 15.0 / 16.0] {
+            let total: f64 = (0..=12).map(|k| binomial_pmf(12, k, p)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "p={p}: {total}");
+        }
+    }
+
+    #[test]
+    fn rfc_theory_is_normalized_and_top_heavy() {
+        let theory = rfc_theory(12, 15.0 / 16.0);
+        assert_eq!(theory.len(), 12);
+        let total: f64 = theory.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // With p = 15/16, the k = 12 bucket dominates (~46 %).
+        assert!(theory[11] > 0.4, "k=12 share {}", theory[11]);
+        assert!(theory[11] > theory[10]);
+        // RFC 9312 (p = 7/8) is less top-heavy.
+        let theory9312 = rfc_theory(12, 7.0 / 8.0);
+        assert!(theory9312[11] < theory[11]);
+    }
+
+    fn synthetic_result() -> LongitudinalResult {
+        // 10 domains always reachable with varied spin weeks; 2 domains
+        // with patchy reachability (excluded from the histogram).
+        let mut ever_spun = Vec::new();
+        for (i, spin_weeks) in [12u32, 12, 6, 6, 6, 3, 3, 1, 1, 1].iter().enumerate() {
+            ever_spun.push(DomainWeeks {
+                domain_id: i as u32,
+                reachable_weeks: 12,
+                spin_weeks: *spin_weeks,
+            });
+        }
+        ever_spun.push(DomainWeeks {
+            domain_id: 100,
+            reachable_weeks: 7,
+            spin_weeks: 5,
+        });
+        ever_spun.push(DomainWeeks {
+            domain_id: 101,
+            reachable_weeks: 11,
+            spin_weeks: 11,
+        });
+        LongitudinalResult {
+            n_weeks: 12,
+            ever_spun,
+        }
+    }
+
+    #[test]
+    fn figure_from_result() {
+        let fig = LongitudinalFigure::from_result(&synthetic_result());
+        assert_eq!(fig.n_weeks, 12);
+        assert_eq!(fig.ever_spun, 12);
+        assert_eq!(fig.always_reachable, 10);
+        assert_eq!(fig.observed.len(), 12);
+        assert!((fig.observed_all_weeks() - 0.2).abs() < 1e-12);
+        assert!((fig.observed[5] - 0.3).abs() < 1e-12, "k=6 bucket");
+        let total: f64 = fig.observed.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_population_spins_less_than_rfc_theory() {
+        let fig = LongitudinalFigure::from_result(&synthetic_result());
+        assert!(fig.spins_less_than(&fig.rfc9000));
+        assert!(fig.spins_less_than(&fig.rfc9312));
+    }
+}

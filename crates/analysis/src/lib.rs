@@ -1,0 +1,65 @@
+//! # quicspin-analysis — regenerating the paper's tables and figures
+//!
+//! Takes the scanner's [`Campaign`](quicspin_scanner::Campaign) records
+//! and computes every result the paper reports:
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`overview`] | Table 1 (IPv4) and Table 4 (IPv6) deployment overviews |
+//! | [`orgs`] | Table 2 — AS-organization attribution |
+//! | [`spin_config`] | Table 3 — how the spin bit is set/disabled |
+//! | [`fig2`] | Fig. 2 — longitudinal RFC-compliance histogram + binomial theory |
+//! | [`fig3`] | Fig. 3 — absolute accuracy histogram |
+//! | [`fig4`] | Fig. 4 — mapped-ratio accuracy histogram |
+//! | [`reordering`] | §5.2 — received-order vs. sorted-order impact |
+//! | [`webserver`] | §4.2 — web-server attribution of spin support |
+//! | [`render`] | ASCII tables / bar charts and CSV export |
+
+pub mod dataset;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod histogram;
+pub mod orgs;
+pub mod overview;
+pub mod render;
+pub mod reordering;
+pub mod spin_config;
+pub mod stats;
+pub mod webserver;
+
+pub use dataset::{CampaignSummary, DomainClass};
+pub use fig2::LongitudinalFigure;
+pub use fig3::AbsoluteAccuracyFigure;
+pub use fig4::RatioAccuracyFigure;
+pub use histogram::Histogram;
+pub use orgs::OrgTable;
+pub use overview::OverviewTable;
+pub use reordering::ReorderingImpact;
+pub use stats::Summary;
+pub use spin_config::SpinConfigTable;
+pub use webserver::WebServerShares;
+
+/// Bundled accuracy figures (Figs. 3 + 4 + §5.2) from one dataset.
+#[derive(Debug, Clone)]
+pub struct AccuracyFigures {
+    /// Fig. 3.
+    pub fig3: AbsoluteAccuracyFigure,
+    /// Fig. 4.
+    pub fig4: RatioAccuracyFigure,
+    /// §5.2 reordering statistics.
+    pub reordering: ReorderingImpact,
+}
+
+impl AccuracyFigures {
+    /// Computes all accuracy artefacts from established records.
+    pub fn from_records<'a>(
+        records: impl Iterator<Item = &'a quicspin_scanner::ConnectionRecord> + Clone,
+    ) -> AccuracyFigures {
+        AccuracyFigures {
+            fig3: AbsoluteAccuracyFigure::from_records(records.clone()),
+            fig4: RatioAccuracyFigure::from_records(records.clone()),
+            reordering: ReorderingImpact::from_records(records),
+        }
+    }
+}

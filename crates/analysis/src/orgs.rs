@@ -1,0 +1,222 @@
+//! Table 2: attribution of connections and spin activity to AS
+//! organizations (the paper maps IP → ASN via RIPE RIS, then ASN → org
+//! via CAIDA as2org; the population model carries the mapping directly).
+
+use quicspin_scanner::{Campaign, ScanOutcome};
+use quicspin_webpop::{ListKind, Org, ALL_ORGS};
+use serde::{Deserialize, Serialize};
+
+/// One organization's row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OrgRow {
+    /// Organization.
+    pub org: Org,
+    /// Established connections attributed to it.
+    pub total_connections: u64,
+    /// Connections with spin activity.
+    pub spin_connections: u64,
+    /// Rank by total connections (1 = most; `None` for the unranked
+    /// `<other>` remainder row, as in the paper's Table 2).
+    pub total_rank: Option<usize>,
+    /// Rank by spin connections (1 = most; `None` if zero or unranked).
+    pub spin_rank: Option<usize>,
+}
+
+impl OrgRow {
+    /// Spin share of this org's connections.
+    pub fn spin_pct(&self) -> f64 {
+        if self.total_connections == 0 {
+            0.0
+        } else {
+            self.spin_connections as f64 / self.total_connections as f64 * 100.0
+        }
+    }
+}
+
+/// Table 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OrgTable {
+    /// All organizations, ordered by total connections (descending).
+    pub rows: Vec<OrgRow>,
+}
+
+impl OrgTable {
+    /// Computes the table from a campaign, restricted to com/net/org
+    /// connections as in the paper.
+    pub fn from_campaign(campaign: &Campaign) -> Self {
+        Self::from_campaign_filtered(campaign, |l| l == ListKind::ZoneComNetOrg)
+    }
+
+    /// Computes the table over an arbitrary list selection.
+    pub fn from_campaign_filtered(
+        campaign: &Campaign,
+        filter: impl Fn(ListKind) -> bool,
+    ) -> Self {
+        let mut totals = [0u64; 9];
+        let mut spins = [0u64; 9];
+        for r in &campaign.records {
+            if r.outcome != ScanOutcome::Ok || !filter(r.list) {
+                continue;
+            }
+            let idx = r.org.index();
+            totals[idx] += 1;
+            if r.has_spin_activity() {
+                spins[idx] += 1;
+            }
+        }
+        let mut rows: Vec<OrgRow> = ALL_ORGS
+            .iter()
+            .map(|&org| OrgRow {
+                org,
+                total_connections: totals[org.index()],
+                spin_connections: spins[org.index()],
+                total_rank: None,
+                spin_rank: None,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.total_connections.cmp(&a.total_connections));
+        // The `<other>` aggregate is a remainder row and stays unranked,
+        // exactly as in the paper's Table 2.
+        let mut rank = 0;
+        for row in rows.iter_mut() {
+            if row.org != Org::Other {
+                rank += 1;
+                row.total_rank = Some(rank);
+            }
+        }
+        let mut by_spin: Vec<(Org, u64)> = rows
+            .iter()
+            .filter(|r| r.org != Org::Other)
+            .map(|r| (r.org, r.spin_connections))
+            .collect();
+        by_spin.sort_by(|a, b| b.1.cmp(&a.1));
+        for (i, (org, spin)) in by_spin.iter().enumerate() {
+            if *spin > 0 {
+                if let Some(row) = rows.iter_mut().find(|r| r.org == *org) {
+                    row.spin_rank = Some(i + 1);
+                }
+            }
+        }
+        OrgTable { rows }
+    }
+
+    /// The row of one organization.
+    pub fn row(&self, org: Org) -> &OrgRow {
+        self.rows.iter().find(|r| r.org == org).expect("all orgs present")
+    }
+
+    /// Total established connections across organizations.
+    pub fn total_connections(&self) -> u64 {
+        self.rows.iter().map(|r| r.total_connections).sum()
+    }
+
+    /// Total spinning connections.
+    pub fn total_spin_connections(&self) -> u64 {
+        self.rows.iter().map(|r| r.spin_connections).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicspin_scanner::{CampaignConfig, NetworkConditions, Scanner};
+    use quicspin_webpop::{Population, PopulationConfig};
+
+    fn table(zone_domains: u32, seed: u64) -> OrgTable {
+        let pop = Population::generate(PopulationConfig {
+            seed,
+            toplist_domains: 0,
+            zone_domains,
+        });
+        let campaign = Scanner::new(&pop).run_campaign(&CampaignConfig {
+            conditions: NetworkConditions::clean(),
+            ..CampaignConfig::default()
+        });
+        OrgTable::from_campaign(&campaign)
+    }
+
+    #[test]
+    fn all_orgs_present_and_ranked() {
+        let t = table(20_000, 1);
+        assert_eq!(t.rows.len(), 9);
+        let ranked: Vec<usize> = t.rows.iter().filter_map(|r| r.total_rank).collect();
+        assert_eq!(ranked.len(), 8, "all but <other> ranked");
+        let mut sorted = ranked.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=8).collect::<Vec<_>>());
+        assert!(t.row(Org::Other).total_rank.is_none());
+        assert!(t.row(Org::Other).spin_rank.is_none());
+        // Descending totals.
+        for w in t.rows.windows(2) {
+            assert!(w[0].total_connections >= w[1].total_connections);
+        }
+    }
+
+    #[test]
+    fn cloudflare_leads_connections_without_spin() {
+        let t = table(60_000, 2);
+        let cf = t.row(Org::Cloudflare);
+        assert_eq!(cf.total_rank, Some(1), "Cloudflare is #1 by connections");
+        assert_eq!(cf.spin_connections, 0, "Cloudflare never spins");
+        assert_eq!(cf.spin_rank, None);
+    }
+
+    #[test]
+    fn hostinger_is_top_spin_driver() {
+        let t = table(60_000, 3);
+        let hostinger = t.row(Org::Hostinger);
+        assert_eq!(
+            hostinger.spin_rank,
+            Some(1),
+            "Hostinger leads spin support (spin={}, table={:?})",
+            hostinger.spin_connections,
+            t.rows
+                .iter()
+                .map(|r| (r.org, r.spin_connections))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            hostinger.spin_pct() > 35.0 && hostinger.spin_pct() < 65.0,
+            "Hostinger spin share ≈ half: {:.1}%",
+            hostinger.spin_pct()
+        );
+    }
+
+    #[test]
+    fn broad_other_base_spins() {
+        let t = table(60_000, 4);
+        let other = t.row(Org::Other);
+        assert!(
+            other.spin_pct() > 30.0,
+            "<other> spin share {:.1}%",
+            other.spin_pct()
+        );
+        assert!(other.spin_connections > 0);
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let t = table(20_000, 5);
+        assert_eq!(
+            t.total_connections(),
+            t.rows.iter().map(|r| r.total_connections).sum::<u64>()
+        );
+        assert!(t.total_spin_connections() <= t.total_connections());
+    }
+
+    #[test]
+    fn filter_restricts_to_list() {
+        let pop = Population::generate(PopulationConfig {
+            seed: 6,
+            toplist_domains: 1_000,
+            zone_domains: 1_000,
+        });
+        let campaign = Scanner::new(&pop).run_campaign(&CampaignConfig {
+            conditions: NetworkConditions::clean(),
+            ..CampaignConfig::default()
+        });
+        let top_only = OrgTable::from_campaign_filtered(&campaign, |l| l == ListKind::Toplist);
+        let all = OrgTable::from_campaign_filtered(&campaign, |_| true);
+        assert!(top_only.total_connections() < all.total_connections());
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates Fig. 2 (longitudinal RFC-compliance histogram with
+//! binomial theory) and benchmarks the weekly-sweep machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quicspin_analysis::{render, LongitudinalFigure};
+use quicspin_bench::bench_population;
+use quicspin_scanner::{run_longitudinal, CampaignConfig, LongitudinalConfig};
+
+fn fig2(c: &mut Criterion) {
+    let population = bench_population(8_000, 0);
+    let config = LongitudinalConfig::paper_weeks(CampaignConfig::default());
+    let result = run_longitudinal(&population, &config);
+    let figure = LongitudinalFigure::from_result(&result);
+    println!("\n{}", render::render_fig2(&figure));
+
+    let small = bench_population(600, 0);
+    c.bench_function("fig2/longitudinal_600_domains_12_weeks", |b| {
+        b.iter(|| {
+            run_longitudinal(
+                std::hint::black_box(&small),
+                &LongitudinalConfig::paper_weeks(CampaignConfig::default()),
+            )
+        })
+    });
+    c.bench_function("fig2/binomial_theory", |b| {
+        b.iter(|| quicspin_analysis::fig2::rfc_theory(std::hint::black_box(12), 15.0 / 16.0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig2
+}
+criterion_main!(benches);

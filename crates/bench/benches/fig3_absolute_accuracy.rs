@@ -1,0 +1,27 @@
+//! Regenerates Fig. 3 (absolute spin-vs-stack accuracy histogram) and
+//! benchmarks the accuracy aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quicspin_analysis::{render, AbsoluteAccuracyFigure};
+use quicspin_bench::{bench_population, sweep};
+use quicspin_webpop::IpVersion;
+
+fn fig3(c: &mut Criterion) {
+    let population = bench_population(120_000, 0);
+    let campaign = sweep(&population, IpVersion::V4, 0);
+    let figure = AbsoluteAccuracyFigure::from_records(campaign.established());
+    println!("\n{}", render::render_fig3(&figure));
+
+    c.bench_function("fig3/aggregate", |b| {
+        b.iter(|| {
+            AbsoluteAccuracyFigure::from_records(std::hint::black_box(&campaign).established())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Regenerates Fig. 4 (mapped-ratio accuracy histogram) plus the §5.2
+//! reordering statistics, and benchmarks the aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quicspin_analysis::{render, RatioAccuracyFigure, ReorderingImpact};
+use quicspin_bench::{bench_population, sweep};
+use quicspin_webpop::IpVersion;
+
+fn fig4(c: &mut Criterion) {
+    let population = bench_population(120_000, 0);
+    let campaign = sweep(&population, IpVersion::V4, 0);
+    let figure = RatioAccuracyFigure::from_records(campaign.established());
+    println!("\n{}", render::render_fig4(&figure));
+
+    let impact = ReorderingImpact::from_records(campaign.established());
+    println!(
+        "Reordering (§5.2): {} spin-active connections, {:.2}% differ R/S, {:.1}% |Δ|<1ms, {:.1}% improved",
+        impact.connections,
+        impact.differing_share() * 100.0,
+        impact.small_delta_share() * 100.0,
+        impact.improved_share() * 100.0
+    );
+
+    c.bench_function("fig4/aggregate", |b| {
+        b.iter(|| RatioAccuracyFigure::from_records(std::hint::black_box(&campaign).established()))
+    });
+    c.bench_function("fig4/reordering_stats", |b| {
+        b.iter(|| ReorderingImpact::from_records(std::hint::black_box(&campaign).established()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates Table 1 (IPv4 deployment overview) and benchmarks the
+//! campaign + aggregation pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quicspin_analysis::{render, OverviewTable};
+use quicspin_bench::{bench_population, sweep};
+use quicspin_webpop::IpVersion;
+
+fn table1(c: &mut Criterion) {
+    // Regenerate the artefact at a meaningful scale once.
+    let population = bench_population(60_000, 1_500);
+    let campaign = sweep(&population, IpVersion::V4, 0);
+    let table = OverviewTable::from_campaign(&campaign);
+    println!("\n{}", render::render_overview("Table 1: IPv4 overview (bench scale)", &table));
+
+    // Benchmark the aggregation on the collected records.
+    c.bench_function("table1/aggregate", |b| {
+        b.iter(|| OverviewTable::from_campaign(std::hint::black_box(&campaign)))
+    });
+
+    // Benchmark a small end-to-end sweep.
+    let small = bench_population(2_000, 100);
+    c.bench_function("table1/sweep_2k_domains", |b| {
+        b.iter(|| sweep(std::hint::black_box(&small), IpVersion::V4, 0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = table1
+}
+criterion_main!(benches);

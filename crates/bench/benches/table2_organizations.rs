@@ -1,0 +1,34 @@
+//! Regenerates Table 2 (AS organizations) plus the §4.2 web-server
+//! attribution, and benchmarks the aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quicspin_analysis::{render, OrgTable, WebServerShares};
+use quicspin_bench::{bench_population, sweep};
+use quicspin_webpop::{IpVersion, WebServer};
+
+fn table2(c: &mut Criterion) {
+    let population = bench_population(120_000, 0);
+    let campaign = sweep(&population, IpVersion::V4, 0);
+    let table = OrgTable::from_campaign(&campaign);
+    println!("\n{}", render::render_orgs(&table));
+
+    let servers = WebServerShares::from_campaign(&campaign);
+    println!("Web servers (share of spinning connections):");
+    for ws in [WebServer::LiteSpeed, WebServer::Imunify360, WebServer::NginxQuic] {
+        println!("  {:<14} {:5.1}%", format!("{ws:?}"), servers.spin_share(ws) * 100.0);
+    }
+
+    c.bench_function("table2/aggregate", |b| {
+        b.iter(|| OrgTable::from_campaign(std::hint::black_box(&campaign)))
+    });
+    c.bench_function("table2/webservers", |b| {
+        b.iter(|| WebServerShares::from_campaign(std::hint::black_box(&campaign)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = table2
+}
+criterion_main!(benches);

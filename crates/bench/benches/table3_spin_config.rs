@@ -1,0 +1,25 @@
+//! Regenerates Table 3 (spin-bit configuration) and benchmarks the
+//! domain-classification aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quicspin_analysis::{render, SpinConfigTable};
+use quicspin_bench::{bench_population, sweep};
+use quicspin_webpop::IpVersion;
+
+fn table3(c: &mut Criterion) {
+    let population = bench_population(60_000, 1_500);
+    let campaign = sweep(&population, IpVersion::V4, 0);
+    let table = SpinConfigTable::from_campaign(&campaign);
+    println!("\n{}", render::render_spin_config(&table));
+
+    c.bench_function("table3/aggregate", |b| {
+        b.iter(|| SpinConfigTable::from_campaign(std::hint::black_box(&campaign)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = table3
+}
+criterion_main!(benches);

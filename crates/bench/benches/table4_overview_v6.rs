@@ -1,0 +1,29 @@
+//! Regenerates Table 4 (IPv6 deployment overview) and benchmarks the
+//! IPv6 sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quicspin_analysis::{render, OverviewTable};
+use quicspin_bench::{bench_population, sweep};
+use quicspin_webpop::IpVersion;
+
+fn table4(c: &mut Criterion) {
+    let population = bench_population(60_000, 1_500);
+    let campaign = sweep(&population, IpVersion::V6, 0);
+    let table = OverviewTable::from_campaign(&campaign);
+    println!("\n{}", render::render_overview("Table 4: IPv6 overview (bench scale)", &table));
+
+    c.bench_function("table4/aggregate", |b| {
+        b.iter(|| OverviewTable::from_campaign(std::hint::black_box(&campaign)))
+    });
+    let small = bench_population(2_000, 100);
+    c.bench_function("table4/sweep_v6_2k_domains", |b| {
+        b.iter(|| sweep(std::hint::black_box(&small), IpVersion::V6, 0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = table4
+}
+criterion_main!(benches);

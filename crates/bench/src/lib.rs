@@ -1,0 +1,28 @@
+//! # quicspin-bench — shared helpers for the benchmark harness
+//!
+//! Each Criterion bench regenerates one of the paper's tables or figures
+//! (printed to stdout on startup) and then times the underlying pipeline
+//! at a reduced scale. The printed artefacts are the reproduction
+//! deliverable; the timings guard against performance regressions.
+
+use quicspin_scanner::{Campaign, CampaignConfig, Scanner};
+use quicspin_webpop::{IpVersion, Population, PopulationConfig};
+
+/// Generates the standard bench population (paper composition, reduced
+/// scale for quick iteration).
+pub fn bench_population(zone_domains: u32, toplist_domains: u32) -> Population {
+    Population::generate(PopulationConfig {
+        seed: 0x5eed_2023,
+        toplist_domains,
+        zone_domains,
+    })
+}
+
+/// Runs one campaign sweep over the population.
+pub fn sweep(population: &Population, version: IpVersion, week: u32) -> Campaign {
+    Scanner::new(population).run_campaign(&CampaignConfig {
+        week,
+        version,
+        ..CampaignConfig::default()
+    })
+}

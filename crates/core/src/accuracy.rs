@@ -1,0 +1,182 @@
+//! §5.1's two accuracy metrics.
+//!
+//! For each connection the paper compares the **mean** of the spin-bit
+//! RTT estimates against the **mean** of the QUIC stack's estimates:
+//!
+//! 1. *absolute accuracy*: `abs = spin − QUIC` (Fig. 3), and
+//! 2. *relative accuracy*: the ratio of the means, always dividing by the
+//!    smaller one and negating when `spin < QUIC`, so `-r`/`+r` mean
+//!    r-fold under-/overestimation (Fig. 4).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-connection accuracy comparison of spin vs. stack RTT means.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracySample {
+    /// Mean of the spin-bit RTT estimates (ms).
+    pub spin_mean_ms: f64,
+    /// Mean of the QUIC stack RTT estimates (ms).
+    pub stack_mean_ms: f64,
+}
+
+impl AccuracySample {
+    /// Creates a sample; both means must be finite and non-negative.
+    pub fn new(spin_mean_ms: f64, stack_mean_ms: f64) -> Self {
+        assert!(
+            spin_mean_ms.is_finite() && spin_mean_ms >= 0.0,
+            "spin mean must be finite and >= 0, got {spin_mean_ms}"
+        );
+        assert!(
+            stack_mean_ms.is_finite() && stack_mean_ms >= 0.0,
+            "stack mean must be finite and >= 0, got {stack_mean_ms}"
+        );
+        AccuracySample {
+            spin_mean_ms,
+            stack_mean_ms,
+        }
+    }
+
+    /// From microsecond sample lists; `None` if either list is empty.
+    pub fn from_samples_us(spin_us: &[u64], stack_us: &[u64]) -> Option<Self> {
+        if spin_us.is_empty() || stack_us.is_empty() {
+            return None;
+        }
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64 / 1000.0;
+        Some(AccuracySample::new(mean(spin_us), mean(stack_us)))
+    }
+
+    /// Fig. 3 metric: `spin − QUIC` in milliseconds. Positive values are
+    /// overestimations by the spin bit.
+    pub fn abs_diff_ms(&self) -> f64 {
+        self.spin_mean_ms - self.stack_mean_ms
+    }
+
+    /// Fig. 4 metric: mapped ratio of the means.
+    ///
+    /// Divides the larger mean by the smaller and negates the result when
+    /// the spin bit underestimates (`spin < QUIC`). A value of `+1.0` is a
+    /// perfect match; `+3.0` a 3× overestimation; `-2.0` a 2×
+    /// underestimation. If both means are zero the ratio is `1.0`; if only
+    /// the smaller is zero the ratio saturates to `±f64::INFINITY`.
+    pub fn mapped_ratio(&self) -> f64 {
+        let (spin, stack) = (self.spin_mean_ms, self.stack_mean_ms);
+        if spin == stack {
+            return 1.0;
+        }
+        let (larger, smaller) = if spin > stack {
+            (spin, stack)
+        } else {
+            (stack, spin)
+        };
+        let magnitude = if smaller == 0.0 {
+            f64::INFINITY
+        } else {
+            larger / smaller
+        };
+        if spin < stack {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+
+    /// Whether the spin estimate is within `pct` percent of the stack
+    /// estimate (the paper's "less than 25 % difference" accuracy bar).
+    pub fn within_percent(&self, pct: f64) -> bool {
+        let r = self.mapped_ratio();
+        r > 0.0 && r <= 1.0 + pct / 100.0
+    }
+
+    /// Whether the spin bit overestimates the stack estimate.
+    pub fn overestimates(&self) -> bool {
+        self.spin_mean_ms > self.stack_mean_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match() {
+        let s = AccuracySample::new(40.0, 40.0);
+        assert_eq!(s.abs_diff_ms(), 0.0);
+        assert_eq!(s.mapped_ratio(), 1.0);
+        assert!(s.within_percent(25.0));
+        assert!(!s.overestimates());
+    }
+
+    #[test]
+    fn overestimation() {
+        let s = AccuracySample::new(120.0, 40.0);
+        assert_eq!(s.abs_diff_ms(), 80.0);
+        assert_eq!(s.mapped_ratio(), 3.0);
+        assert!(s.overestimates());
+        assert!(!s.within_percent(25.0));
+    }
+
+    #[test]
+    fn underestimation_is_negative() {
+        let s = AccuracySample::new(20.0, 40.0);
+        assert_eq!(s.abs_diff_ms(), -20.0);
+        assert_eq!(s.mapped_ratio(), -2.0);
+        assert!(!s.overestimates());
+        assert!(!s.within_percent(25.0), "underestimations never qualify");
+    }
+
+    #[test]
+    fn within_25_percent_boundary() {
+        assert!(AccuracySample::new(50.0, 40.0).within_percent(25.0));
+        assert!(!AccuracySample::new(50.1, 40.0).within_percent(25.0));
+        assert!(AccuracySample::new(40.0, 40.0).within_percent(0.0));
+    }
+
+    #[test]
+    fn zero_means() {
+        assert_eq!(AccuracySample::new(0.0, 0.0).mapped_ratio(), 1.0);
+        assert_eq!(AccuracySample::new(40.0, 0.0).mapped_ratio(), f64::INFINITY);
+        assert_eq!(
+            AccuracySample::new(0.0, 40.0).mapped_ratio(),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn from_samples_us_means() {
+        let s = AccuracySample::from_samples_us(&[40_000, 60_000], &[40_000]).unwrap();
+        assert_eq!(s.spin_mean_ms, 50.0);
+        assert_eq!(s.stack_mean_ms, 40.0);
+        assert!(AccuracySample::from_samples_us(&[], &[1]).is_none());
+        assert!(AccuracySample::from_samples_us(&[1], &[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        AccuracySample::new(f64::NAN, 1.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_ratio_magnitude_at_least_one(
+            spin in 0.01f64..10_000.0,
+            stack in 0.01f64..10_000.0,
+        ) {
+            let s = AccuracySample::new(spin, stack);
+            let r = s.mapped_ratio();
+            proptest::prop_assert!(r.abs() >= 1.0);
+            proptest::prop_assert_eq!(r > 0.0, spin >= stack);
+        }
+
+        #[test]
+        fn prop_ratio_antisymmetric(
+            a in 0.01f64..10_000.0,
+            b in 0.01f64..10_000.0,
+        ) {
+            proptest::prop_assume!(a != b);
+            let fwd = AccuracySample::new(a, b).mapped_ratio();
+            let rev = AccuracySample::new(b, a).mapped_ratio();
+            proptest::prop_assert!((fwd + rev).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The paper's grease filter (§3.3).
+//!
+//! RFCs 9000/9312 recommend disabling the spin bit by *greasing* — setting
+//! it randomly per packet or per connection. Per-packet greasing produces
+//! spin "edges" at packet rate and therefore absurdly small RTT samples.
+//! The paper filters such connections out with a simple rule: *a
+//! connection presumably greases as soon as one spin-bit RTT estimate is
+//! smaller than the minimum of all QUIC-stack client RTT estimates*.
+
+use serde::{Deserialize, Serialize};
+
+/// The §3.3 grease filter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GreaseFilter {
+    /// Scale applied to the stack minimum before comparison. The paper
+    /// uses 1.0 (strict minimum); the `ablation_grease` bench sweeps this.
+    pub threshold_factor: f64,
+}
+
+impl Default for GreaseFilter {
+    fn default() -> Self {
+        GreaseFilter {
+            threshold_factor: 1.0,
+        }
+    }
+}
+
+impl GreaseFilter {
+    /// Creates the paper's filter (factor 1.0).
+    pub fn paper() -> Self {
+        GreaseFilter::default()
+    }
+
+    /// Creates a filter with a custom threshold factor.
+    pub fn with_factor(threshold_factor: f64) -> Self {
+        GreaseFilter { threshold_factor }
+    }
+
+    /// Applies the filter: `true` = the connection is presumed to grease.
+    ///
+    /// `spin_samples_us` are the spin-derived RTT estimates;
+    /// `min_stack_rtt_us` is the minimum of the QUIC stack's own client
+    /// RTT estimates (which rely on richer information: ACK timing plus
+    /// peer-reported processing delay, so they lower-bound the true RTT
+    /// as seen by any honest spin signal).
+    pub fn is_greased(&self, spin_samples_us: &[u64], min_stack_rtt_us: u64) -> bool {
+        let threshold = (min_stack_rtt_us as f64 * self.threshold_factor) as u64;
+        spin_samples_us.iter().any(|&s| s < threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_spin_passes() {
+        // Spin samples >= stack minimum: spin always includes extra delay.
+        let f = GreaseFilter::paper();
+        assert!(!f.is_greased(&[40_000, 45_000, 300_000], 40_000));
+    }
+
+    #[test]
+    fn per_packet_grease_is_caught() {
+        // Greasing produces packet-rate "RTTs" (≈ 1 ms) far below a real
+        // 40 ms path.
+        let f = GreaseFilter::paper();
+        assert!(f.is_greased(&[1_000, 900, 40_000], 40_000));
+    }
+
+    #[test]
+    fn single_undershoot_suffices() {
+        let f = GreaseFilter::paper();
+        assert!(f.is_greased(&[100_000, 39_999], 40_000));
+    }
+
+    #[test]
+    fn empty_samples_are_not_greased() {
+        let f = GreaseFilter::paper();
+        assert!(!f.is_greased(&[], 40_000));
+    }
+
+    #[test]
+    fn boundary_equal_is_not_greased() {
+        let f = GreaseFilter::paper();
+        assert!(!f.is_greased(&[40_000], 40_000), "strictly smaller only");
+    }
+
+    #[test]
+    fn factor_scales_threshold() {
+        let strict = GreaseFilter::with_factor(0.5);
+        // Threshold = 20 ms: a 30 ms sample passes even though it is below
+        // the raw stack minimum.
+        assert!(!strict.is_greased(&[30_000], 40_000));
+        let loose = GreaseFilter::with_factor(2.0);
+        assert!(loose.is_greased(&[60_000], 40_000));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_monotone_in_factor(
+            samples in proptest::collection::vec(1u64..1_000_000, 1..20),
+            min_stack in 1u64..1_000_000,
+        ) {
+            // A larger factor can only classify more connections as greased.
+            let low = GreaseFilter::with_factor(0.5).is_greased(&samples, min_stack);
+            let high = GreaseFilter::with_factor(2.0).is_greased(&samples, min_stack);
+            if low {
+                proptest::prop_assert!(high);
+            }
+        }
+    }
+}

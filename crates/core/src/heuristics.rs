@@ -1,0 +1,184 @@
+//! RFC 9312 §4.2-style robustness heuristics for spin RTT samples.
+//!
+//! RFC 9312 notes that spin-bit measurements "can be improved by
+//! heuristics" that reject implausible samples, e.g. ultra-short spin
+//! periods caused by reordering near a spin edge (the paper's Fig. 1b).
+//! Kunze et al. (2021) evaluated such filters on P4 hardware; the paper
+//! under reproduction calls for exactly this kind of filtering as future
+//! work (§7). This module implements the three filters used throughout
+//! the workspace's ablation benches.
+
+use serde::{Deserialize, Serialize};
+
+/// A filter deciding whether a candidate spin RTT sample is plausible.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum RttFilter {
+    /// Accept every sample (the paper's baseline configuration).
+    #[default]
+    None,
+    /// Reject samples below an absolute floor (µs). Catches the
+    /// reordering-induced ultra-short spin cycles of Fig. 1b.
+    StaticFloor {
+        /// Minimum plausible RTT in microseconds.
+        min_us: u64,
+    },
+    /// Reject samples outside `[lower × m, upper × m]` where `m` is the
+    /// running median of previously *accepted* samples. The first sample
+    /// is always accepted to seed the estimate.
+    DynamicRange {
+        /// Lower bound factor (e.g. 0.1).
+        lower: f64,
+        /// Upper bound factor (e.g. 10.0).
+        upper: f64,
+    },
+}
+
+/// Stateful application of an [`RttFilter`] to a sample stream.
+#[derive(Debug, Clone)]
+pub struct FilterState {
+    filter: RttFilter,
+    accepted: Vec<u64>,
+    rejected: usize,
+}
+
+impl FilterState {
+    /// Creates filter state for the given filter.
+    pub fn new(filter: RttFilter) -> Self {
+        FilterState {
+            filter,
+            accepted: Vec::new(),
+            rejected: 0,
+        }
+    }
+
+    /// Offers a sample; returns `true` (and records it) if accepted.
+    pub fn offer(&mut self, sample_us: u64) -> bool {
+        let ok = match self.filter {
+            RttFilter::None => true,
+            RttFilter::StaticFloor { min_us } => sample_us >= min_us,
+            RttFilter::DynamicRange { lower, upper } => {
+                if self.accepted.is_empty() {
+                    true
+                } else {
+                    let m = self.running_median();
+                    let s = sample_us as f64;
+                    s >= lower * m && s <= upper * m
+                }
+            }
+        };
+        if ok {
+            // Insert keeping `accepted` sorted, so the median is O(1).
+            let pos = self.accepted.partition_point(|&v| v < sample_us);
+            self.accepted.insert(pos, sample_us);
+        } else {
+            self.rejected += 1;
+        }
+        ok
+    }
+
+    /// Median of accepted samples (0 if none).
+    pub fn running_median(&self) -> f64 {
+        if self.accepted.is_empty() {
+            return 0.0;
+        }
+        let n = self.accepted.len();
+        if n % 2 == 1 {
+            self.accepted[n / 2] as f64
+        } else {
+            (self.accepted[n / 2 - 1] + self.accepted[n / 2]) as f64 / 2.0
+        }
+    }
+
+    /// Number of samples rejected so far.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Number of samples accepted so far.
+    pub fn accepted_count(&self) -> usize {
+        self.accepted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_accepts_everything() {
+        let mut f = FilterState::new(RttFilter::None);
+        assert!(f.offer(0));
+        assert!(f.offer(u64::MAX));
+        assert_eq!(f.rejected(), 0);
+        assert_eq!(f.accepted_count(), 2);
+    }
+
+    #[test]
+    fn static_floor_rejects_short_samples() {
+        let mut f = FilterState::new(RttFilter::StaticFloor { min_us: 1000 });
+        assert!(!f.offer(999));
+        assert!(f.offer(1000));
+        assert!(f.offer(50_000));
+        assert_eq!(f.rejected(), 1);
+    }
+
+    #[test]
+    fn dynamic_range_seeds_with_first_sample() {
+        let mut f = FilterState::new(RttFilter::DynamicRange {
+            lower: 0.1,
+            upper: 10.0,
+        });
+        assert!(f.offer(40_000), "first sample always accepted");
+        // 100 µs is far below 0.1 × 40 ms → reject (a reordering artefact).
+        assert!(!f.offer(100));
+        // 45 ms is within range.
+        assert!(f.offer(45_000));
+        // 10 s is far above 10 × median → reject.
+        assert!(!f.offer(10_000_000));
+        assert_eq!(f.rejected(), 2);
+    }
+
+    #[test]
+    fn running_median_odd_even() {
+        let mut f = FilterState::new(RttFilter::None);
+        assert_eq!(f.running_median(), 0.0);
+        f.offer(10);
+        assert_eq!(f.running_median(), 10.0);
+        f.offer(30);
+        assert_eq!(f.running_median(), 20.0);
+        f.offer(20);
+        assert_eq!(f.running_median(), 20.0);
+    }
+
+    #[test]
+    fn median_is_order_independent() {
+        let mut a = FilterState::new(RttFilter::None);
+        let mut b = FilterState::new(RttFilter::None);
+        for v in [5u64, 1, 9, 3, 7] {
+            a.offer(v);
+        }
+        for v in [9u64, 7, 5, 3, 1] {
+            b.offer(v);
+        }
+        assert_eq!(a.running_median(), b.running_median());
+        assert_eq!(a.running_median(), 5.0);
+    }
+
+    #[test]
+    fn default_filter_is_none() {
+        assert_eq!(RttFilter::default(), RttFilter::None);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_static_floor_partition(samples in proptest::collection::vec(0u64..100_000, 0..50)) {
+            let mut f = FilterState::new(RttFilter::StaticFloor { min_us: 500 });
+            for &s in &samples {
+                let accepted = f.offer(s);
+                proptest::prop_assert_eq!(accepted, s >= 500);
+            }
+            let expected_rejected = samples.iter().filter(|&&s| s < 500).count();
+            proptest::prop_assert_eq!(f.rejected(), expected_rejected);
+        }
+    }
+}

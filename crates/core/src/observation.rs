@@ -1,0 +1,81 @@
+//! The raw material of the study: per-packet spin observations.
+
+use serde::{Deserialize, Serialize};
+
+/// One observed 1-RTT packet, as extracted from a qlog trace (§3.3 of the
+/// paper) or from an on-path tap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketObservation {
+    /// Observation timestamp in microseconds (virtual time).
+    pub time_us: u64,
+    /// The spin bit value on the wire.
+    pub spin: bool,
+    /// The QUIC packet number. Available when observing from the endpoint's
+    /// own qlog (the paper's setup) or with oracle access in the simulator;
+    /// `None` for a strictly passive on-path observer, for whom the packet
+    /// number is encrypted.
+    pub packet_number: Option<u64>,
+    /// The Valid Edge Counter (De Vaere et al.) if the endpoints carry it
+    /// in the reserved short-header bits; `0` otherwise.
+    pub vec: u8,
+}
+
+impl PacketObservation {
+    /// Creates an observation without packet number or VEC.
+    pub fn wire(time_us: u64, spin: bool) -> Self {
+        PacketObservation {
+            time_us,
+            spin,
+            packet_number: None,
+            vec: 0,
+        }
+    }
+
+    /// Creates a qlog-style observation with ground-truth packet number.
+    pub fn qlog(time_us: u64, packet_number: u64, spin: bool) -> Self {
+        PacketObservation {
+            time_us,
+            spin,
+            packet_number: Some(packet_number),
+            vec: 0,
+        }
+    }
+
+    /// Builder-style: attach a VEC value (clamped to 0..=3).
+    pub fn with_vec(mut self, vec: u8) -> Self {
+        self.vec = vec.min(3);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let w = PacketObservation::wire(10, true);
+        assert_eq!(w.time_us, 10);
+        assert!(w.spin);
+        assert_eq!(w.packet_number, None);
+        assert_eq!(w.vec, 0);
+
+        let q = PacketObservation::qlog(20, 5, false);
+        assert_eq!(q.packet_number, Some(5));
+        assert!(!q.spin);
+    }
+
+    #[test]
+    fn with_vec_clamps() {
+        assert_eq!(PacketObservation::wire(0, false).with_vec(2).vec, 2);
+        assert_eq!(PacketObservation::wire(0, false).with_vec(7).vec, 3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let obs = PacketObservation::qlog(1, 2, true).with_vec(3);
+        let json = serde_json::to_string(&obs).unwrap();
+        let back: PacketObservation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, obs);
+    }
+}

@@ -1,0 +1,340 @@
+//! The passive spin-bit observer.
+//!
+//! The observer watches a single direction of a flow (the paper watches
+//! the server→client direction through the client's own qlog) and detects
+//! **spin edges**: packets whose spin bit differs from the previous
+//! packet's. The time between two consecutive edges is one full
+//! round-trip — the square wave's half-period equals the RTT because each
+//! flip must travel to the peer and be reflected back before the next
+//! flip can appear (RFC 9000 §17.4).
+
+use crate::heuristics::{FilterState, RttFilter};
+use crate::observation::PacketObservation;
+use serde::{Deserialize, Serialize};
+
+/// Observer configuration.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ObserverConfig {
+    /// Heuristic filter applied to candidate RTT samples.
+    pub filter: RttFilter,
+    /// If `true`, only edges carried by packets with a saturated Valid
+    /// Edge Counter (VEC == 3) produce RTT samples. Requires endpoints
+    /// that set the VEC; plain RFC 9000 endpoints send 0, which would
+    /// suppress all samples, so this defaults to `false`.
+    pub require_valid_edge: bool,
+}
+
+/// A detected spin edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpinEdge {
+    /// When the edge was observed (µs).
+    pub time_us: u64,
+    /// The new spin value after the flip.
+    pub to: bool,
+    /// The packet number of the edge packet, if known.
+    pub packet_number: Option<u64>,
+}
+
+/// Streaming spin-edge detector and RTT estimator for one flow direction.
+#[derive(Debug, Clone)]
+pub struct SpinObserver {
+    config: ObserverConfig,
+    last_spin: Option<bool>,
+    last_edge_time: Option<u64>,
+    edges: Vec<SpinEdge>,
+    samples: Vec<u64>,
+    filter: FilterState,
+    packets_seen: usize,
+    zeros: usize,
+    ones: usize,
+}
+
+impl Default for SpinObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpinObserver {
+    /// Creates an observer with default (unfiltered) configuration —
+    /// the paper's baseline.
+    pub fn new() -> Self {
+        Self::with_config(ObserverConfig::default())
+    }
+
+    /// Creates an observer with the given configuration.
+    pub fn with_config(config: ObserverConfig) -> Self {
+        SpinObserver {
+            config,
+            last_spin: None,
+            last_edge_time: None,
+            edges: Vec::new(),
+            samples: Vec::new(),
+            filter: FilterState::new(config.filter),
+            packets_seen: 0,
+            zeros: 0,
+            ones: 0,
+        }
+    }
+
+    /// Feeds one observed packet. Returns the RTT sample (µs) if this
+    /// packet completed an accepted spin period.
+    pub fn observe(&mut self, obs: &PacketObservation) -> Option<u64> {
+        self.packets_seen += 1;
+        if obs.spin {
+            self.ones += 1;
+        } else {
+            self.zeros += 1;
+        }
+
+        let is_edge = match self.last_spin {
+            None => {
+                self.last_spin = Some(obs.spin);
+                return None;
+            }
+            Some(prev) => prev != obs.spin,
+        };
+        if !is_edge {
+            return None;
+        }
+        self.last_spin = Some(obs.spin);
+
+        if self.config.require_valid_edge && obs.vec != crate::vec_counter::VEC_MAX {
+            // Invalid edge per the VEC: note the edge but produce no sample
+            // and do not restart the period clock from an invalid edge.
+            self.edges.push(SpinEdge {
+                time_us: obs.time_us,
+                to: obs.spin,
+                packet_number: obs.packet_number,
+            });
+            return None;
+        }
+
+        self.edges.push(SpinEdge {
+            time_us: obs.time_us,
+            to: obs.spin,
+            packet_number: obs.packet_number,
+        });
+
+        let sample = self
+            .last_edge_time
+            .map(|prev| obs.time_us.saturating_sub(prev));
+        self.last_edge_time = Some(obs.time_us);
+
+        match sample {
+            Some(s) if self.filter.offer(s) => {
+                self.samples.push(s);
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+
+    /// Feeds a whole observation sequence; returns the accepted samples.
+    pub fn observe_all(&mut self, observations: &[PacketObservation]) -> Vec<u64> {
+        observations
+            .iter()
+            .filter_map(|o| self.observe(o))
+            .collect()
+    }
+
+    /// Accepted RTT samples in microseconds, in observation order.
+    pub fn rtt_samples_us(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Mean of accepted samples in milliseconds, if any.
+    pub fn mean_rtt_ms(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            let sum: u64 = self.samples.iter().sum();
+            Some(sum as f64 / self.samples.len() as f64 / 1000.0)
+        }
+    }
+
+    /// Minimum accepted sample in microseconds, if any.
+    pub fn min_rtt_us(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// All detected edges (including, under VEC mode, invalid ones).
+    pub fn edges(&self) -> &[SpinEdge] {
+        &self.edges
+    }
+
+    /// Number of packets observed.
+    pub fn packets_seen(&self) -> usize {
+        self.packets_seen
+    }
+
+    /// Count of packets with spin == 0 / spin == 1.
+    pub fn value_counts(&self) -> (usize, usize) {
+        (self.zeros, self.ones)
+    }
+
+    /// Number of samples discarded by the heuristic filter.
+    pub fn filtered_out(&self) -> usize {
+        self.filter.rejected()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(time_ms: u64, spin: bool) -> PacketObservation {
+        PacketObservation::wire(time_ms * 1000, spin)
+    }
+
+    #[test]
+    fn square_wave_yields_rtt_samples() {
+        // Perfect square wave with a 40 ms period (= RTT 40 ms).
+        let mut o = SpinObserver::new();
+        let seq = [
+            obs(0, false),
+            obs(10, false),
+            obs(40, true), // edge 1
+            obs(50, true),
+            obs(80, false), // edge 2 → sample 40 ms
+            obs(120, true), // edge 3 → sample 40 ms
+        ];
+        let samples = o.observe_all(&seq);
+        assert_eq!(samples, vec![40_000, 40_000]);
+        assert_eq!(o.edges().len(), 3);
+        assert_eq!(o.mean_rtt_ms(), Some(40.0));
+        assert_eq!(o.min_rtt_us(), Some(40_000));
+    }
+
+    #[test]
+    fn first_edge_produces_no_sample() {
+        let mut o = SpinObserver::new();
+        assert_eq!(o.observe(&obs(0, false)), None);
+        assert_eq!(o.observe(&obs(10, true)), None, "first edge, no period yet");
+        assert_eq!(o.observe(&obs(50, false)), Some(40_000));
+    }
+
+    #[test]
+    fn constant_signal_has_no_edges() {
+        let mut o = SpinObserver::new();
+        for t in 0..10 {
+            o.observe(&obs(t * 10, true));
+        }
+        assert!(o.edges().is_empty());
+        assert!(o.rtt_samples_us().is_empty());
+        assert_eq!(o.mean_rtt_ms(), None);
+        assert_eq!(o.value_counts(), (0, 10));
+    }
+
+    #[test]
+    fn reordering_near_edge_creates_ultra_short_sample() {
+        // The Fig. 1b failure mode: a stale spin=0 packet arrives just
+        // after the 0→1 edge, creating two bogus edges 1 ms apart.
+        let mut o = SpinObserver::new();
+        let seq = [
+            obs(0, false),
+            obs(40, true),  // real edge
+            obs(41, false), // stale packet → bogus edge, 1 ms sample
+            obs(42, true),  // back → bogus edge, 1 ms sample
+            obs(80, false), // real edge → 38 ms
+        ];
+        let samples = o.observe_all(&seq);
+        assert_eq!(samples, vec![1000, 1000, 38_000]);
+    }
+
+    #[test]
+    fn static_floor_filter_drops_reordering_artefacts() {
+        let cfg = ObserverConfig {
+            filter: RttFilter::StaticFloor { min_us: 5000 },
+            ..ObserverConfig::default()
+        };
+        let mut o = SpinObserver::with_config(cfg);
+        let seq = [
+            obs(0, false),
+            obs(40, true),
+            obs(41, false),
+            obs(42, true),
+            obs(80, false),
+        ];
+        let samples = o.observe_all(&seq);
+        assert_eq!(samples, vec![38_000]);
+        assert_eq!(o.filtered_out(), 2);
+    }
+
+    #[test]
+    fn greased_per_packet_signal_yields_garbage_samples() {
+        // Alternating every packet at 1 ms spacing → 1 ms "RTT" samples,
+        // which is what the paper's grease filter keys on.
+        let mut o = SpinObserver::new();
+        for t in 0..20u64 {
+            o.observe(&obs(t, t % 2 == 0));
+        }
+        assert!(o.min_rtt_us().unwrap() <= 1000);
+    }
+
+    #[test]
+    fn vec_mode_only_accepts_saturated_edges() {
+        let cfg = ObserverConfig {
+            require_valid_edge: true,
+            ..ObserverConfig::default()
+        };
+        let mut o = SpinObserver::with_config(cfg);
+        let seq = [
+            PacketObservation::wire(0, false),
+            PacketObservation::wire(40_000, true).with_vec(1), // invalid edge
+            PacketObservation::wire(80_000, false).with_vec(3), // valid edge
+            PacketObservation::wire(120_000, true).with_vec(3), // valid edge → sample
+        ];
+        let mut samples = Vec::new();
+        for s in &seq {
+            if let Some(v) = o.observe(s) {
+                samples.push(v);
+            }
+        }
+        assert_eq!(samples, vec![40_000]);
+        assert_eq!(o.edges().len(), 3, "invalid edges still recorded");
+    }
+
+    #[test]
+    fn value_counts_track_zeros_and_ones() {
+        let mut o = SpinObserver::new();
+        o.observe(&obs(0, false));
+        o.observe(&obs(1, false));
+        o.observe(&obs(2, true));
+        assert_eq!(o.value_counts(), (2, 1));
+        assert_eq!(o.packets_seen(), 3);
+    }
+
+    #[test]
+    fn saturating_on_nonmonotonic_time() {
+        // Observation times should be monotonic, but a defensive observer
+        // must not panic if they are not (e.g. corrupt capture).
+        let mut o = SpinObserver::new();
+        o.observe(&obs(100, false));
+        o.observe(&obs(100, true));
+        let s = o.observe(&PacketObservation::wire(50_000, false));
+        assert_eq!(s, Some(0), "clamped to zero, no panic");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_samples_equal_edge_gaps(times in proptest::collection::vec(0u64..1_000_000, 2..64)) {
+            // Build a monotone time sequence with alternating spin.
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            proptest::prop_assume!(sorted.len() >= 2);
+            let seq: Vec<PacketObservation> = sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| PacketObservation::wire(t, i % 2 == 0))
+                .collect();
+            let mut o = SpinObserver::new();
+            let samples = o.observe_all(&seq);
+            // Every packet after the first is an edge; every edge after the
+            // second produces a sample equal to the time gap.
+            let expected: Vec<u64> = sorted.windows(2).skip(1).map(|w| w[1] - w[0]).collect();
+            proptest::prop_assert_eq!(samples, expected);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # quicspin-h3 — minimal HTTP/3-style request/response layer
+//!
+//! The paper issues HTTP/3 requests for landing pages and inspects the
+//! `server:` response header to attribute spin-bit support to web-server
+//! stacks (§4.2: "by far the most connections reach LiteSpeed
+//! webservers"). This crate supplies exactly that surface:
+//!
+//! * [`Request`] — a GET with host and path, carrying the measurement
+//!   study's identification hint (mirroring the paper's ethics appendix:
+//!   "embedding our projectname as hint in every HTTP request");
+//! * [`Response`] — status code, `server:` software identification,
+//!   optional `location:` redirect target, and a body;
+//! * redirect-chain helpers (the scanner follows at most
+//!   [`MAX_REDIRECTS`], as the paper does).
+//!
+//! Substitution note (DESIGN.md): real HTTP/3 uses QPACK-compressed binary
+//! header frames. Nothing in the study depends on header compression, so
+//! this layer uses a line-oriented encoding that keeps traces readable
+//! while exercising the same transport path (stream 0, request → chunked
+//! response → FIN).
+
+pub mod request;
+pub mod response;
+
+pub use request::Request;
+pub use response::{Response, StatusCode};
+
+/// The scanner follows at most this many redirects (paper §3.2.1:
+/// "to limit the impact of our measurements, we only follow up to 3
+/// redirects").
+pub const MAX_REDIRECTS: usize = 3;

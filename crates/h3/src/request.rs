@@ -1,0 +1,110 @@
+//! HTTP/3-style requests.
+
+/// Identification hint embedded in every request (cf. the paper's ethics
+/// appendix: measurement traffic should identify itself).
+pub const RESEARCH_HINT: &str = "quicspin-measurement-study; see reverse DNS for opt-out";
+
+/// A GET request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Target host (SNI / `host:` header).
+    pub host: String,
+    /// Request path.
+    pub path: String,
+}
+
+impl Request {
+    /// Creates a GET for the landing page of `host`.
+    pub fn landing_page(host: impl Into<String>) -> Self {
+        Request {
+            host: host.into(),
+            path: "/".into(),
+        }
+    }
+
+    /// Creates a GET for an arbitrary path.
+    pub fn get(host: impl Into<String>, path: impl Into<String>) -> Self {
+        Request {
+            host: host.into(),
+            path: path.into(),
+        }
+    }
+
+    /// Serializes the request for stream 0.
+    pub fn encode(&self) -> Vec<u8> {
+        format!(
+            "GET {} HTTP/3\r\nhost: {}\r\nuser-agent: quicspin/0.1\r\nx-research: {}\r\n\r\n",
+            self.path, self.host, RESEARCH_HINT
+        )
+        .into_bytes()
+    }
+
+    /// Parses a request off the wire.
+    pub fn parse(bytes: &[u8]) -> Option<Request> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let mut lines = text.split("\r\n");
+        let request_line = lines.next()?;
+        let mut parts = request_line.split(' ');
+        if parts.next()? != "GET" {
+            return None;
+        }
+        let path = parts.next()?.to_string();
+        if parts.next()? != "HTTP/3" {
+            return None;
+        }
+        let mut host = None;
+        for line in lines {
+            if let Some(value) = line.strip_prefix("host: ") {
+                host = Some(value.to_string());
+            }
+        }
+        Some(Request { host: host?, path })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_landing_page() {
+        let req = Request::landing_page("www.example.com");
+        let bytes = req.encode();
+        assert_eq!(Request::parse(&bytes), Some(req));
+    }
+
+    #[test]
+    fn roundtrip_custom_path() {
+        let req = Request::get("www.example.org", "/index.html");
+        assert_eq!(Request::parse(&req.encode()), Some(req));
+    }
+
+    #[test]
+    fn encodes_research_hint() {
+        let bytes = Request::landing_page("a.example").encode();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("x-research"), "{text}");
+        assert!(text.contains("quicspin"), "{text}");
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        assert_eq!(Request::parse(b"POST / HTTP/3\r\nhost: x\r\n\r\n"), None);
+    }
+
+    #[test]
+    fn rejects_wrong_protocol() {
+        assert_eq!(Request::parse(b"GET / HTTP/1.1\r\nhost: x\r\n\r\n"), None);
+    }
+
+    #[test]
+    fn rejects_missing_host() {
+        assert_eq!(Request::parse(b"GET / HTTP/3\r\n\r\n"), None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(Request::parse(&[0xff, 0xfe, 0x00]), None);
+        assert_eq!(Request::parse(b""), None);
+    }
+}

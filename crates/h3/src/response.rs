@@ -1,0 +1,196 @@
+//! HTTP/3-style responses.
+
+/// Response status codes used by the population model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatusCode {
+    /// 200 — the landing page.
+    Ok,
+    /// 301 — permanent redirect.
+    MovedPermanently,
+    /// 302 — temporary redirect.
+    Found,
+    /// 404 — no such page (still a QUIC-capable host).
+    NotFound,
+}
+
+impl StatusCode {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            StatusCode::Ok => 200,
+            StatusCode::MovedPermanently => 301,
+            StatusCode::Found => 302,
+            StatusCode::NotFound => 404,
+        }
+    }
+
+    /// Parses a numeric code.
+    pub fn from_code(code: u16) -> Option<Self> {
+        match code {
+            200 => Some(StatusCode::Ok),
+            301 => Some(StatusCode::MovedPermanently),
+            302 => Some(StatusCode::Found),
+            404 => Some(StatusCode::NotFound),
+            _ => None,
+        }
+    }
+
+    /// Whether this status redirects the client.
+    pub fn is_redirect(self) -> bool {
+        matches!(self, StatusCode::MovedPermanently | StatusCode::Found)
+    }
+}
+
+/// A response header (body travels separately, possibly chunked).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// `server:` header — the web-server software identification the
+    /// paper's §4.2 analysis keys on (e.g. "LiteSpeed").
+    pub server: String,
+    /// `location:` header on redirects.
+    pub location: Option<String>,
+    /// Declared body length.
+    pub content_length: usize,
+}
+
+impl Response {
+    /// Creates a 200 response.
+    pub fn ok(server: impl Into<String>, content_length: usize) -> Self {
+        Response {
+            status: StatusCode::Ok,
+            server: server.into(),
+            location: None,
+            content_length,
+        }
+    }
+
+    /// Creates a redirect to `location`.
+    pub fn redirect(server: impl Into<String>, location: impl Into<String>) -> Self {
+        Response {
+            status: StatusCode::MovedPermanently,
+            server: server.into(),
+            location: Some(location.into()),
+            content_length: 0,
+        }
+    }
+
+    /// Serializes the header block.
+    pub fn encode_header(&self) -> Vec<u8> {
+        let mut text = format!(
+            "HTTP/3 {}\r\nserver: {}\r\ncontent-length: {}\r\n",
+            self.status.code(),
+            self.server,
+            self.content_length
+        );
+        if let Some(location) = &self.location {
+            text.push_str(&format!("location: {location}\r\n"));
+        }
+        text.push_str("\r\n");
+        text.into_bytes()
+    }
+
+    /// Parses a header block from the start of `bytes`; returns the
+    /// response and the number of bytes consumed (body starts there).
+    pub fn parse_header(bytes: &[u8]) -> Option<(Response, usize)> {
+        let end = find_header_end(bytes)?;
+        let text = std::str::from_utf8(&bytes[..end]).ok()?;
+        let mut lines = text.split("\r\n");
+        let status_line = lines.next()?;
+        let code: u16 = status_line.strip_prefix("HTTP/3 ")?.trim().parse().ok()?;
+        let status = StatusCode::from_code(code)?;
+        let mut server = String::new();
+        let mut location = None;
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some(v) = line.strip_prefix("server: ") {
+                server = v.to_string();
+            } else if let Some(v) = line.strip_prefix("location: ") {
+                location = Some(v.to_string());
+            } else if let Some(v) = line.strip_prefix("content-length: ") {
+                content_length = v.trim().parse().ok()?;
+            }
+        }
+        Some((
+            Response {
+                status,
+                server,
+                location,
+                content_length,
+            },
+            end + 4,
+        ))
+    }
+}
+
+fn find_header_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_roundtrip() {
+        let r = Response::ok("LiteSpeed", 34_000);
+        let bytes = r.encode_header();
+        let (back, consumed) = Response::parse_header(&bytes).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn redirect_roundtrip() {
+        let r = Response::redirect("nginx", "https://www.example.com/");
+        let (back, _) = Response::parse_header(&r.encode_header()).unwrap();
+        assert_eq!(back.location.as_deref(), Some("https://www.example.com/"));
+        assert!(back.status.is_redirect());
+    }
+
+    #[test]
+    fn header_followed_by_body() {
+        let r = Response::ok("imunify360-webshield", 4);
+        let mut bytes = r.encode_header();
+        bytes.extend_from_slice(b"body");
+        let (back, consumed) = Response::parse_header(&bytes).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(&bytes[consumed..], b"body");
+    }
+
+    #[test]
+    fn incomplete_header_returns_none() {
+        let r = Response::ok("LiteSpeed", 10);
+        let bytes = r.encode_header();
+        assert!(Response::parse_header(&bytes[..bytes.len() - 4]).is_none());
+    }
+
+    #[test]
+    fn status_codes_roundtrip() {
+        for s in [
+            StatusCode::Ok,
+            StatusCode::MovedPermanently,
+            StatusCode::Found,
+            StatusCode::NotFound,
+        ] {
+            assert_eq!(StatusCode::from_code(s.code()), Some(s));
+        }
+        assert_eq!(StatusCode::from_code(500), None);
+    }
+
+    #[test]
+    fn redirect_classification() {
+        assert!(StatusCode::MovedPermanently.is_redirect());
+        assert!(StatusCode::Found.is_redirect());
+        assert!(!StatusCode::Ok.is_redirect());
+        assert!(!StatusCode::NotFound.is_redirect());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Response::parse_header(b"\xff\xfe\r\n\r\n").is_none());
+        assert!(Response::parse_header(b"HTTP/3 abc\r\n\r\n").is_none());
+        assert!(Response::parse_header(b"HTTP/1.1 200\r\n\r\n").is_none());
+    }
+}

@@ -1,0 +1,30 @@
+//! # quicspin-netsim — deterministic discrete-event network simulation
+//!
+//! The paper measures real Internet paths; this crate provides the
+//! substitute: a deterministic, seedable network simulator in the style of
+//! smoltcp's fault-injection examples. It models a single client↔server
+//! path with per-direction propagation delay, jitter, loss, reordering
+//! (hold-back so later packets overtake), duplication, and token-bucket
+//! rate limiting — plus an **on-path tap** at a configurable position that
+//! records every crossing datagram, which is where the passive spin-bit
+//! observer of `quicspin-core` attaches.
+//!
+//! Design rules (per the repository's networking guides):
+//!
+//! * event-driven, no hidden clocks — virtual time only ([`SimTime`]);
+//! * all randomness from an explicit seed ([`Rng`], xoshiro256**);
+//! * fault injection is a first-class feature ([`LinkConfig`]).
+
+pub mod event;
+pub mod link;
+pub mod pcap;
+pub mod rng;
+pub mod sim;
+pub mod time;
+
+pub use event::EventQueue;
+pub use pcap::{read_pcap, write_pcap, PcapError};
+pub use link::{Link, LinkConfig, Transit};
+pub use rng::Rng;
+pub use sim::{PathStats, Side, SimEvent, Simulator, TapRecord};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,210 @@
+//! libpcap-format capture of tap records.
+//!
+//! Real spin-bit observers consume packet captures; this module writes the
+//! simulator's tap records as a classic pcap file (the format smoltcp's
+//! examples dump and Wireshark reads) and reads them back, so analysis
+//! tooling can be exercised against byte-identical artefacts of a run.
+//!
+//! Encapsulation: `LINKTYPE_USER0` (147) with a one-byte direction
+//! prefix (0 = client→server, 1 = server→client) followed by the raw
+//! datagram — the simulator has no Ethernet/IP framing, and inventing
+//! fake headers would only obscure the payload under test.
+
+use crate::sim::{Side, TapRecord};
+use crate::time::SimTime;
+
+/// pcap magic (microsecond timestamps, native byte order written as LE).
+const PCAP_MAGIC: u32 = 0xa1b2_c3d4;
+/// DLT_USER0: user-defined link type.
+const LINKTYPE_USER0: u32 = 147;
+
+/// Direction prefix byte for client→server packets.
+pub const DIR_CLIENT_TO_SERVER: u8 = 0;
+/// Direction prefix byte for server→client packets.
+pub const DIR_SERVER_TO_CLIENT: u8 = 1;
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serializes tap records into a pcap byte stream.
+pub fn write_pcap(records: &[TapRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + records.len() * 32);
+    // Global header.
+    push_u32(&mut out, PCAP_MAGIC);
+    push_u16(&mut out, 2); // version major
+    push_u16(&mut out, 4); // version minor
+    push_u32(&mut out, 0); // thiszone
+    push_u32(&mut out, 0); // sigfigs
+    push_u32(&mut out, 65_535); // snaplen
+    push_u32(&mut out, LINKTYPE_USER0);
+    for record in records {
+        let us = record.time.as_micros();
+        push_u32(&mut out, (us / 1_000_000) as u32);
+        push_u32(&mut out, (us % 1_000_000) as u32);
+        let len = record.datagram.len() as u32 + 1;
+        push_u32(&mut out, len); // captured length
+        push_u32(&mut out, len); // original length
+        out.push(match record.from {
+            Side::Client => DIR_CLIENT_TO_SERVER,
+            Side::Server => DIR_SERVER_TO_CLIENT,
+        });
+        out.extend_from_slice(&record.datagram);
+    }
+    out
+}
+
+/// Errors while parsing a pcap stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcapError {
+    /// Too short / wrong magic.
+    BadHeader,
+    /// A record header or body was truncated.
+    Truncated,
+    /// The link type is not the one this module writes.
+    WrongLinkType(u32),
+    /// A packet had a zero-length body (no direction byte).
+    EmptyPacket,
+}
+
+impl core::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PcapError::BadHeader => f.write_str("bad pcap global header"),
+            PcapError::Truncated => f.write_str("truncated pcap record"),
+            PcapError::WrongLinkType(lt) => write!(f, "unexpected link type {lt}"),
+            PcapError::EmptyPacket => f.write_str("pcap record without direction byte"),
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+fn read_u32(buf: &[u8], at: usize) -> Option<u32> {
+    buf.get(at..at + 4)
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+/// Parses a pcap byte stream produced by [`write_pcap`] back into tap
+/// records.
+pub fn read_pcap(bytes: &[u8]) -> Result<Vec<TapRecord>, PcapError> {
+    if bytes.len() < 24 || read_u32(bytes, 0) != Some(PCAP_MAGIC) {
+        return Err(PcapError::BadHeader);
+    }
+    let linktype = read_u32(bytes, 20).ok_or(PcapError::BadHeader)?;
+    if linktype != LINKTYPE_USER0 {
+        return Err(PcapError::WrongLinkType(linktype));
+    }
+    let mut records = Vec::new();
+    let mut at = 24;
+    while at < bytes.len() {
+        let secs = read_u32(bytes, at).ok_or(PcapError::Truncated)?;
+        let micros = read_u32(bytes, at + 4).ok_or(PcapError::Truncated)?;
+        let caplen = read_u32(bytes, at + 8).ok_or(PcapError::Truncated)? as usize;
+        at += 16;
+        let body = bytes.get(at..at + caplen).ok_or(PcapError::Truncated)?;
+        at += caplen;
+        let (&dir, datagram) = body.split_first().ok_or(PcapError::EmptyPacket)?;
+        records.push(TapRecord {
+            time: SimTime::from_nanos(
+                (u64::from(secs) * 1_000_000 + u64::from(micros)) * 1_000,
+            ),
+            from: if dir == DIR_CLIENT_TO_SERVER {
+                Side::Client
+            } else {
+                Side::Server
+            },
+            datagram: datagram.to_vec(),
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn record(ms: u64, from: Side, payload: &[u8]) -> TapRecord {
+        TapRecord {
+            time: SimTime::ZERO + SimDuration::from_millis(ms),
+            from,
+            datagram: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let records = vec![
+            record(0, Side::Client, &[0x40, 1, 2, 3]),
+            record(40, Side::Server, &[0x60, 9]),
+            record(2_000, Side::Client, &[]),
+        ];
+        // Zero-length datagrams still carry the direction byte.
+        let bytes = write_pcap(&records);
+        let back = read_pcap(&bytes).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn header_is_valid_pcap() {
+        let bytes = write_pcap(&[]);
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(&bytes[..4], &0xa1b2_c3d4u32.to_le_bytes());
+        assert_eq!(read_pcap(&bytes).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn timestamps_preserve_microseconds() {
+        let records = vec![TapRecord {
+            time: SimTime::from_nanos(1_234_567_000),
+            from: Side::Server,
+            datagram: vec![1],
+        }];
+        let back = read_pcap(&write_pcap(&records)).unwrap();
+        assert_eq!(back[0].time.as_micros(), 1_234_567);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(read_pcap(&[0u8; 24]), Err(PcapError::BadHeader));
+        assert_eq!(read_pcap(&[0u8; 3]), Err(PcapError::BadHeader));
+    }
+
+    #[test]
+    fn wrong_linktype_rejected() {
+        let mut bytes = write_pcap(&[]);
+        bytes[20..24].copy_from_slice(&1u32.to_le_bytes()); // Ethernet
+        assert_eq!(read_pcap(&bytes), Err(PcapError::WrongLinkType(1)));
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let records = vec![record(1, Side::Client, &[1, 2, 3])];
+        let bytes = write_pcap(&records);
+        assert_eq!(
+            read_pcap(&bytes[..bytes.len() - 2]),
+            Err(PcapError::Truncated)
+        );
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_roundtrip(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(proptest::prelude::any::<u8>(), 0..100), 0..20
+            ),
+        ) {
+            let records: Vec<TapRecord> = payloads
+                .iter()
+                .enumerate()
+                .map(|(i, p)| record(i as u64, if i % 2 == 0 { Side::Client } else { Side::Server }, p))
+                .collect();
+            let back = read_pcap(&write_pcap(&records)).unwrap();
+            proptest::prop_assert_eq!(back, records);
+        }
+    }
+}

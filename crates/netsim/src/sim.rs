@@ -1,0 +1,428 @@
+//! The simulator: a duplex path between a client and a server with an
+//! optional on-path tap for passive observation.
+
+use crate::event::EventQueue;
+use crate::link::{Link, LinkConfig};
+use crate::rng::Rng;
+use crate::time::SimTime;
+
+/// The two ends of the simulated path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The scanning client (the paper's vantage point runs here).
+    Client,
+    /// The web server under measurement.
+    Server,
+}
+
+impl Side {
+    /// The opposite end.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Client => Side::Server,
+            Side::Server => Side::Client,
+        }
+    }
+}
+
+impl core::fmt::Display for Side {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Side::Client => "client",
+            Side::Server => "server",
+        })
+    }
+}
+
+/// A datagram crossing the tap position, as seen by a passive observer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TapRecord {
+    /// When the packet passed the tap.
+    pub time: SimTime,
+    /// Which side sent it.
+    pub from: Side,
+    /// The raw datagram bytes (the observer parses what it legally can).
+    pub datagram: Vec<u8>,
+}
+
+/// Aggregate per-path statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathStats {
+    /// Datagrams entering the path, per direction (client→server, server→client).
+    pub sent: [u64; 2],
+    /// Datagrams dropped.
+    pub lost: [u64; 2],
+    /// Datagrams duplicated.
+    pub duplicated: [u64; 2],
+    /// Datagrams held back for reordering.
+    pub reordered: [u64; 2],
+    /// Bytes entering the path.
+    pub bytes: [u64; 2],
+}
+
+impl PathStats {
+    fn dir(side: Side) -> usize {
+        match side {
+            Side::Client => 0,
+            Side::Server => 1,
+        }
+    }
+
+    /// Total datagrams sent in both directions.
+    pub fn total_sent(&self) -> u64 {
+        self.sent[0] + self.sent[1]
+    }
+
+    /// Total datagrams lost in both directions.
+    pub fn total_lost(&self) -> u64 {
+        self.lost[0] + self.lost[1]
+    }
+}
+
+/// An event the driving code must handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A datagram arrived at `to`.
+    Datagram {
+        /// Receiving side.
+        to: Side,
+        /// The datagram bytes.
+        datagram: Vec<u8>,
+    },
+    /// A timer set via [`Simulator::set_timer`] fired for `side`.
+    Timer {
+        /// The side that armed the timer.
+        side: Side,
+        /// Caller-chosen token identifying the timer.
+        token: u64,
+    },
+}
+
+#[derive(Debug)]
+enum Pending {
+    Deliver { to: Side, datagram: Vec<u8> },
+    Timer { side: Side, token: u64 },
+}
+
+/// Discrete-event simulator for one client↔server path.
+///
+/// The driving code (e.g. `quicspin-quic`'s `ConnectionLab` or the
+/// scanner) injects datagrams with [`send`](Simulator::send), arms timers,
+/// and pumps [`step`](Simulator::step) until the exchange completes. An
+/// optional tap records every datagram crossing a configurable point on
+/// the path, which is exactly what the paper's passive observer sees.
+#[derive(Debug)]
+pub struct Simulator {
+    now: SimTime,
+    queue: EventQueue<Pending>,
+    c2s: Link,
+    s2c: Link,
+    tap_position: Option<f64>,
+    tap_records: Vec<TapRecord>,
+    stats: PathStats,
+    rng: Rng,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given per-direction link configs.
+    pub fn new(c2s: LinkConfig, s2c: LinkConfig, seed: u64) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            c2s: Link::new(c2s),
+            s2c: Link::new(s2c),
+            tap_position: None,
+            tap_records: Vec::new(),
+            stats: PathStats::default(),
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Creates a symmetric simulator (same config both directions).
+    pub fn symmetric(config: LinkConfig, seed: u64) -> Self {
+        Simulator::new(config.clone(), config, seed)
+    }
+
+    /// Places a passive tap at `position` along the path (0 = next to the
+    /// client, 1 = next to the server).
+    pub fn with_tap(mut self, position: f64) -> Self {
+        self.tap_position = Some(position.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Path statistics so far.
+    pub fn stats(&self) -> &PathStats {
+        &self.stats
+    }
+
+    /// Records captured by the tap so far.
+    pub fn tap_records(&self) -> &[TapRecord] {
+        &self.tap_records
+    }
+
+    /// Takes ownership of the tap records collected so far.
+    pub fn take_tap_records(&mut self) -> Vec<TapRecord> {
+        std::mem::take(&mut self.tap_records)
+    }
+
+    /// Injects a datagram sent by `from` at the current time.
+    pub fn send(&mut self, from: Side, datagram: Vec<u8>) {
+        self.send_after(from, crate::time::SimDuration::ZERO, datagram);
+    }
+
+    /// Injects a datagram that leaves `from` after `delay` (endpoint
+    /// processing latency: the time between the triggering event and the
+    /// packet hitting the wire — the end-host delay the paper holds
+    /// responsible for spin-bit overestimation).
+    pub fn send_after(&mut self, from: Side, delay: crate::time::SimDuration, datagram: Vec<u8>) {
+        let dir = PathStats::dir(from);
+        self.stats.sent[dir] += 1;
+        self.stats.bytes[dir] += datagram.len() as u64;
+
+        let tap_pos = self.tap_position.unwrap_or(0.5);
+        let link = match from {
+            Side::Client => &mut self.c2s,
+            Side::Server => &mut self.s2c,
+        };
+        // The tap position is measured from the client side, so for
+        // server→client traffic the packet passes the tap at (1 - pos)
+        // of its own propagation path.
+        let pos_along = match from {
+            Side::Client => tap_pos,
+            Side::Server => 1.0 - tap_pos,
+        };
+        let transit = link.send(self.now + delay, datagram.len(), pos_along, &mut self.rng);
+
+        if transit.lost {
+            self.stats.lost[dir] += 1;
+        }
+        if transit.reordered {
+            self.stats.reordered[dir] += 1;
+        }
+        if transit.deliveries.len() > 1 {
+            self.stats.duplicated[dir] += 1;
+        }
+
+        if self.tap_position.is_some() {
+            self.tap_records.push(TapRecord {
+                time: transit.tap_time,
+                from,
+                datagram: datagram.clone(),
+            });
+        }
+
+        let to = from.other();
+        for at in transit.deliveries {
+            self.queue.push(
+                at,
+                Pending::Deliver {
+                    to,
+                    datagram: datagram.clone(),
+                },
+            );
+        }
+    }
+
+    /// Arms a timer for `side` at absolute time `at`.
+    pub fn set_timer(&mut self, side: Side, at: SimTime, token: u64) {
+        let at = if at < self.now { self.now } else { at };
+        self.queue.push(at, Pending::Timer { side, token });
+    }
+
+    /// Advances to the next event and returns it, or `None` when idle.
+    pub fn step(&mut self) -> Option<(SimTime, SimEvent)> {
+        let (at, pending) = self.queue.pop()?;
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        let event = match pending {
+            Pending::Deliver { to, datagram } => SimEvent::Datagram { to, datagram },
+            Pending::Timer { side, token } => SimEvent::Timer { side, token },
+        };
+        Some((at, event))
+    }
+
+    /// Sorts the tap records by time. Deliveries are naturally time-ordered
+    /// but tap crossings of *reordered* packets are recorded at send time
+    /// order; a real tap sees them in crossing order, so analysis code
+    /// should call this before consuming the records.
+    pub fn sort_tap_records(&mut self) {
+        self.tap_records.sort_by_key(|r| r.time);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn datagram_travels_one_way_delay() {
+        let mut sim = Simulator::symmetric(LinkConfig::ideal(ms(15)), 1);
+        sim.send(Side::Client, vec![1, 2, 3]);
+        let (at, ev) = sim.step().unwrap();
+        assert_eq!(at, SimTime::ZERO + ms(15));
+        assert_eq!(
+            ev,
+            SimEvent::Datagram {
+                to: Side::Server,
+                datagram: vec![1, 2, 3]
+            }
+        );
+        assert_eq!(sim.now(), at);
+        assert!(sim.step().is_none());
+    }
+
+    #[test]
+    fn round_trip_is_sum_of_directions() {
+        let mut sim = Simulator::new(LinkConfig::ideal(ms(10)), LinkConfig::ideal(ms(30)), 1);
+        sim.send(Side::Client, vec![0]);
+        let (t1, _) = sim.step().unwrap();
+        sim.send(Side::Server, vec![1]);
+        let (t2, ev) = sim.step().unwrap();
+        assert_eq!(t1, SimTime::ZERO + ms(10));
+        assert_eq!(t2, SimTime::ZERO + ms(40));
+        assert!(matches!(ev, SimEvent::Datagram { to: Side::Client, .. }));
+    }
+
+    #[test]
+    fn timers_interleave_with_datagrams() {
+        let mut sim = Simulator::symmetric(LinkConfig::ideal(ms(10)), 1);
+        sim.send(Side::Client, vec![0]);
+        sim.set_timer(Side::Client, SimTime::ZERO + ms(5), 99);
+        let (t1, ev1) = sim.step().unwrap();
+        assert_eq!(t1, SimTime::ZERO + ms(5));
+        assert_eq!(
+            ev1,
+            SimEvent::Timer {
+                side: Side::Client,
+                token: 99
+            }
+        );
+        let (t2, _) = sim.step().unwrap();
+        assert_eq!(t2, SimTime::ZERO + ms(10));
+    }
+
+    #[test]
+    fn past_timers_fire_immediately_not_backwards() {
+        let mut sim = Simulator::symmetric(LinkConfig::ideal(ms(10)), 1);
+        sim.send(Side::Client, vec![0]);
+        sim.step().unwrap(); // now = 10ms
+        sim.set_timer(Side::Server, SimTime::ZERO, 1);
+        let (at, _) = sim.step().unwrap();
+        assert_eq!(at, SimTime::ZERO + ms(10));
+    }
+
+    #[test]
+    fn tap_sees_both_directions_at_position() {
+        let mut sim = Simulator::symmetric(LinkConfig::ideal(ms(10)), 1).with_tap(0.2);
+        sim.send(Side::Client, vec![1]);
+        sim.send(Side::Server, vec![2]);
+        let records = sim.tap_records();
+        assert_eq!(records.len(), 2);
+        // Client→server: 20% of 10ms = 2ms from client side.
+        assert_eq!(records[0].time, SimTime::ZERO + ms(2));
+        assert_eq!(records[0].from, Side::Client);
+        // Server→client: tap is at 0.2 from client = 0.8 of the server's path.
+        assert_eq!(records[1].time, SimTime::ZERO + ms(8));
+        assert_eq!(records[1].from, Side::Server);
+    }
+
+    #[test]
+    fn tap_disabled_records_nothing() {
+        let mut sim = Simulator::symmetric(LinkConfig::ideal(ms(10)), 1);
+        sim.send(Side::Client, vec![1]);
+        assert!(sim.tap_records().is_empty());
+    }
+
+    #[test]
+    fn stats_count_loss_and_sends() {
+        let cfg = LinkConfig::ideal(ms(5)).with_loss(1.0);
+        let mut sim = Simulator::new(cfg, LinkConfig::ideal(ms(5)), 1);
+        sim.send(Side::Client, vec![0; 100]);
+        sim.send(Side::Server, vec![0; 50]);
+        let stats = sim.stats();
+        assert_eq!(stats.sent, [1, 1]);
+        assert_eq!(stats.lost, [1, 0]);
+        assert_eq!(stats.bytes, [100, 50]);
+        assert_eq!(stats.total_sent(), 2);
+        assert_eq!(stats.total_lost(), 1);
+        // Lost client packet never arrives; server one does.
+        let (_, ev) = sim.step().unwrap();
+        assert!(matches!(ev, SimEvent::Datagram { to: Side::Client, .. }));
+        assert!(sim.step().is_none());
+    }
+
+    #[test]
+    fn take_tap_records_drains() {
+        let mut sim = Simulator::symmetric(LinkConfig::ideal(ms(1)), 1).with_tap(0.5);
+        sim.send(Side::Client, vec![1]);
+        assert_eq!(sim.take_tap_records().len(), 1);
+        assert!(sim.tap_records().is_empty());
+    }
+
+    #[test]
+    fn sort_tap_records_orders_by_crossing_time() {
+        let cfg = LinkConfig {
+            reorder: 0.5,
+            reorder_hold: ms(50),
+            ..LinkConfig::ideal(ms(10))
+        };
+        // Find a seed where the first packet is held back and the second is
+        // not: the second then overtakes the first on the wire.
+        for seed in 0..64 {
+            let mut sim = Simulator::new(cfg.clone(), LinkConfig::ideal(ms(10)), seed).with_tap(1.0);
+            sim.send(Side::Client, vec![1]);
+            sim.send(Side::Client, vec![2]);
+            if sim.stats().reordered[0] != 1 || sim.tap_records()[1].time >= sim.tap_records()[0].time
+            {
+                continue;
+            }
+            sim.sort_tap_records();
+            let records = sim.tap_records();
+            assert_eq!(records[0].datagram, vec![2], "overtaker crosses tap first");
+            assert!(records[0].time <= records[1].time);
+            return;
+        }
+        panic!("no seed in 0..64 produced the reordering pattern");
+    }
+
+    #[test]
+    fn side_other_flips() {
+        assert_eq!(Side::Client.other(), Side::Server);
+        assert_eq!(Side::Server.other(), Side::Client);
+        assert_eq!(Side::Client.to_string(), "client");
+    }
+
+    #[test]
+    fn deterministic_event_sequence() {
+        let run = |seed| {
+            let cfg = LinkConfig::ideal(ms(10))
+                .with_loss(0.2)
+                .with_jitter(ms(3));
+            let mut sim = Simulator::symmetric(cfg, seed);
+            for i in 0..20u8 {
+                sim.send(Side::Client, vec![i]);
+            }
+            let mut out = Vec::new();
+            while let Some((at, ev)) = sim.step() {
+                out.push((at, ev));
+            }
+            out
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

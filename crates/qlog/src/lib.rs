@@ -1,0 +1,23 @@
+//! # quicspin-qlog — qlog-flavoured connection event logging
+//!
+//! The paper's measurement client stores per-connection qlog traces
+//! (Marx et al.), *extended with the spin bit state* of every received
+//! packet — that extension is the raw material for the whole analysis.
+//! This crate provides the same capability: a compact, serde-serializable
+//! event schema covering packet transmission/reception (with spin bit and
+//! packet number), RTT estimator updates, and connection lifecycle, plus a
+//! JSON envelope writer/reader compatible in spirit with qlog 0.3
+//! (`{"qlog_version": ..., "traces": [...]}`).
+//!
+//! The schema deliberately records **receive timestamps, packet numbers,
+//! and spin values** exactly as the paper's §3.3 requires: "we focus on
+//! the received packets from the qlog and extract (1) the spin bit state,
+//! (2) the QUIC packet number, and (3) the corresponding timestamp".
+
+pub mod binary;
+pub mod events;
+pub mod trace;
+
+pub use binary::{decode_trace, encode_trace, BinaryError};
+pub use events::{EventData, LoggedEvent, PacketSpace};
+pub use trace::{QlogFile, TraceLog};

@@ -1,0 +1,533 @@
+//! ConnectionLab: one complete client↔server exchange over a simulated
+//! path — the unit of work the scanner performs once per target, and the
+//! easiest way to experiment with the stack.
+//!
+//! The lab owns a [`Simulator`], a client and a server [`Connection`], and
+//! a tiny server "application" that answers the request after a
+//! configurable processing delay, in chunks separated by configurable
+//! gaps. Those gaps are *end-host delay* — the very thing the paper
+//! identifies as the cause of spin-bit RTT overestimation (§6): the spin
+//! signal only advances when the endpoints transmit, so every server-side
+//! pause stretches the observed spin period, while the stack's ACK-based
+//! estimate stays anchored to the network path.
+
+use crate::config::TransportConfig;
+use crate::conn::{AppEvent, Connection};
+use quicspin_core::{GreaseFilter, ObserverConfig, ObserverReport, PacketObservation};
+use quicspin_netsim::{LinkConfig, Side, SimDuration, SimEvent, SimTime, Simulator, TapRecord};
+use quicspin_qlog::TraceLog;
+use quicspin_wire::Header;
+
+/// The server application's response behaviour.
+#[derive(Debug, Clone)]
+pub struct ServerProfile {
+    /// Delay between receiving the full request and the first response
+    /// chunk (request processing time).
+    pub initial_delay: SimDuration,
+    /// Response chunks: (gap after the previous chunk, chunk size in bytes).
+    pub chunks: Vec<(SimDuration, usize)>,
+}
+
+impl Default for ServerProfile {
+    fn default() -> Self {
+        ServerProfile {
+            initial_delay: SimDuration::from_millis(5),
+            chunks: vec![
+                (SimDuration::ZERO, 12_000),
+                (SimDuration::from_millis(2), 12_000),
+                (SimDuration::from_millis(2), 12_000),
+            ],
+        }
+    }
+}
+
+impl ServerProfile {
+    /// A profile answering instantly with a single chunk of `size` bytes.
+    pub fn instant(size: usize) -> Self {
+        ServerProfile {
+            initial_delay: SimDuration::ZERO,
+            chunks: vec![(SimDuration::ZERO, size)],
+        }
+    }
+
+    /// Total response size.
+    pub fn total_bytes(&self) -> usize {
+        self.chunks.iter().map(|&(_, size)| size).sum()
+    }
+}
+
+/// Configuration of one lab run.
+#[derive(Debug, Clone)]
+pub struct LabConfig {
+    /// Full path round-trip time in milliseconds (split evenly).
+    pub path_rtt_ms: f64,
+    /// Per-direction jitter bound in milliseconds.
+    pub jitter_ms: f64,
+    /// Per-direction loss probability.
+    pub loss: f64,
+    /// Per-direction reorder probability.
+    pub reorder: f64,
+    /// How long a held-back (reordered) packet is delayed. Reordering is
+    /// only observable when this exceeds the inter-packet spacing.
+    pub reorder_hold_ms: f64,
+    /// Seed for all randomness in the run.
+    pub seed: u64,
+    /// Client transport configuration.
+    pub client: TransportConfig,
+    /// Server transport configuration.
+    pub server: TransportConfig,
+    /// Server application behaviour.
+    pub server_profile: ServerProfile,
+    /// Bottleneck link rate in bytes/second (`None` = infinite). Finite
+    /// rates spread flights across the path (ack clocking), which is what
+    /// lets sub-RTT reordering cross spin edges at all.
+    pub link_rate_bytes_per_sec: Option<u64>,
+    /// Tap position along the path (0 = client, 1 = server).
+    pub tap_position: f64,
+    /// The request bytes sent on stream 0.
+    pub request: Vec<u8>,
+    /// Bytes prepended to the first response chunk (e.g. an HTTP/3-style
+    /// response header, so the `server:` identification travels the wire).
+    pub response_prefix: Vec<u8>,
+    /// Hard wall on simulated duration.
+    pub max_duration: SimDuration,
+}
+
+impl Default for LabConfig {
+    fn default() -> Self {
+        LabConfig {
+            path_rtt_ms: 40.0,
+            jitter_ms: 0.0,
+            loss: 0.0,
+            reorder: 0.0,
+            reorder_hold_ms: 2.0,
+            seed: 1,
+            client: TransportConfig::default(),
+            server: TransportConfig::default(),
+            server_profile: ServerProfile::default(),
+            link_rate_bytes_per_sec: None,
+            tap_position: 0.5,
+            request: b"GET / HTTP/3\r\nhost: lab.example\r\n\r\n".to_vec(),
+            response_prefix: Vec::new(),
+            max_duration: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// Everything a lab run produced.
+#[derive(Debug)]
+pub struct LabOutcome {
+    /// Did the handshake finish on the client?
+    pub handshake_completed: bool,
+    /// Response bytes the client received on stream 0.
+    pub response_bytes: usize,
+    /// The raw response data received on stream 0 (prefix + body).
+    pub response_data: Vec<u8>,
+    /// Whether the response stream finished (FIN seen).
+    pub response_complete: bool,
+    /// Client qlog trace (the paper's §3.3 data source).
+    pub client_qlog: TraceLog,
+    /// Server qlog trace.
+    pub server_qlog: TraceLog,
+    /// Tap records (time-sorted), both directions.
+    pub tap_records: Vec<TapRecord>,
+    /// Connection-ID length, needed to parse tap records.
+    pub cid_len: usize,
+    /// Simulated completion time.
+    pub finished_at: SimTime,
+    /// The client stack's RTT samples in µs.
+    pub client_stack_samples_us: Vec<u64>,
+}
+
+impl LabOutcome {
+    /// §3.3 extraction from the client qlog: received 1-RTT packets as
+    /// observations (time, packet number, spin).
+    pub fn client_observations(&self) -> Vec<PacketObservation> {
+        self.client_qlog
+            .spin_observations()
+            .into_iter()
+            .map(|(t, pn, s)| PacketObservation::qlog(t, pn, s))
+            .collect()
+    }
+
+    /// Observations an on-path tap would make of `from`-originated 1-RTT
+    /// packets (no packet numbers — the real wire encrypts them; the VEC
+    /// rides in the visible reserved bits).
+    pub fn tap_observations(&self, from: Side) -> Vec<PacketObservation> {
+        self.tap_records
+            .iter()
+            .filter(|r| r.from == from)
+            .filter_map(|r| {
+                Header::peek_observable(&r.datagram, self.cid_len)
+                    .map(|h| PacketObservation::wire(r.time.as_micros(), h.spin).with_vec(h.vec))
+            })
+            .collect()
+    }
+
+    /// Full observer report over the client's received packets, using the
+    /// paper's baseline configuration.
+    pub fn observer_report(&self) -> ObserverReport {
+        ObserverReport::build(
+            &self.client_observations(),
+            self.client_stack_samples_us.clone(),
+            ObserverConfig::default(),
+            GreaseFilter::paper(),
+        )
+    }
+}
+
+/// Timer token for transport timeouts.
+const TOKEN_TRANSPORT: u64 = 0;
+/// Timer tokens >= this index into the server app's pending chunks.
+const TOKEN_APP_BASE: u64 = 1;
+
+/// Drives one client↔server connection through a simulated path.
+#[derive(Debug)]
+pub struct ConnectionLab {
+    config: LabConfig,
+}
+
+impl ConnectionLab {
+    /// Creates a lab from its configuration.
+    pub fn new(config: LabConfig) -> Self {
+        ConnectionLab { config }
+    }
+
+    /// Runs the exchange to completion (or `max_duration`).
+    pub fn run(&mut self) -> LabOutcome {
+        let cfg = &self.config;
+        let one_way = SimDuration::from_millis_f64(cfg.path_rtt_ms / 2.0);
+        let link = LinkConfig {
+            delay: one_way,
+            jitter: SimDuration::from_millis_f64(cfg.jitter_ms),
+            loss: cfg.loss,
+            reorder: cfg.reorder,
+            reorder_hold: SimDuration::from_millis_f64(cfg.reorder_hold_ms),
+            rate_bytes_per_sec: cfg.link_rate_bytes_per_sec,
+            ..LinkConfig::default()
+        };
+        let mut sim = Simulator::symmetric(link, cfg.seed).with_tap(cfg.tap_position);
+        let mut client = Connection::new_client(cfg.client.clone(), cfg.seed.wrapping_mul(2) + 1, sim.now());
+        let mut server = Connection::new_server(cfg.server.clone(), cfg.seed.wrapping_mul(2) + 2, sim.now());
+
+        // Server app state: request assembly + scheduled response chunks.
+        let mut request_done = false;
+        let mut response_plan: Vec<usize> = Vec::new(); // chunk sizes by index
+        let mut chunks_sent = 0usize;
+        let mut response_fin_sent = false;
+        let mut response_bytes = 0usize;
+        let mut response_data: Vec<u8> = Vec::new();
+        let mut client_done = false;
+        let deadline = SimTime::ZERO + cfg.max_duration;
+
+        // Kick off: client Initial flight.
+        // Timer arming is deduplicated: re-arming the same deadline after
+        // every event would flood the queue with duplicate wakeups.
+        let mut armed: [Option<SimTime>; 2] = [None, None];
+        flush(&mut sim, Side::Client, &mut client);
+        arm(&mut sim, Side::Client, &client, &mut armed);
+        arm(&mut sim, Side::Server, &server, &mut armed);
+
+        while let Some((now, event)) = sim.step() {
+            if now > deadline {
+                break;
+            }
+            match event {
+                SimEvent::Datagram { to, datagram } => {
+                    let conn = match to {
+                        Side::Client => &mut client,
+                        Side::Server => &mut server,
+                    };
+                    conn.handle_datagram(now, &datagram);
+                }
+                SimEvent::Timer { side, token } => {
+                    if token >= TOKEN_APP_BASE {
+                        // Server app: emit response chunk #(token - base).
+                        let idx = (token - TOKEN_APP_BASE) as usize;
+                        if side == Side::Server && idx == chunks_sent && idx < response_plan.len()
+                        {
+                            let size = response_plan[idx];
+                            let fin = idx + 1 == response_plan.len();
+                            let mut body = if idx == 0 {
+                                cfg.response_prefix.clone()
+                            } else {
+                                Vec::new()
+                            };
+                            body.extend(std::iter::repeat(0x42u8).take(size));
+                            server.send_stream(0, &body, fin);
+                            chunks_sent += 1;
+                            if fin {
+                                response_fin_sent = true;
+                            }
+                        }
+                    } else {
+                        let conn = match side {
+                            Side::Client => &mut client,
+                            Side::Server => &mut server,
+                        };
+                        armed[side_index(side)] = None;
+                        conn.on_timeout(now);
+                    }
+                }
+            }
+
+            // Application logic driven by connection events.
+            while let Some(ev) = client.poll_event() {
+                match ev {
+                    AppEvent::HandshakeCompleted => {
+                        client.send_stream(0, &cfg.request, true);
+                    }
+                    AppEvent::StreamData { id: 0, data, fin } => {
+                        response_bytes += data.len();
+                        response_data.extend_from_slice(&data);
+                        if fin {
+                            client_done = true;
+                            client.close("request complete");
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            while let Some(ev) = server.poll_event() {
+                match ev {
+                    AppEvent::StreamData { id: 0, fin: true, .. } if !request_done => {
+                        request_done = true;
+                        // Schedule the response chunks.
+                        let mut t = now + cfg.server_profile.initial_delay;
+                        for (i, &(gap, size)) in cfg.server_profile.chunks.iter().enumerate() {
+                            t = t + gap;
+                            response_plan.push(size);
+                            sim.set_timer(Side::Server, t, TOKEN_APP_BASE + i as u64);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+
+            flush(&mut sim, Side::Client, &mut client);
+            flush(&mut sim, Side::Server, &mut server);
+            arm(&mut sim, Side::Client, &client, &mut armed);
+            arm(&mut sim, Side::Server, &server, &mut armed);
+
+            if client.is_closed() && server.is_closed() {
+                break;
+            }
+            // Once the exchange logically finished and nothing is pending,
+            // stop even if idle timers are still armed.
+            if client_done && response_fin_sent && client.is_closed() && sim.pending() == 0 {
+                break;
+            }
+        }
+
+        sim.sort_tap_records();
+        let finished_at = sim.now();
+        LabOutcome {
+            handshake_completed: client.is_established() || client.is_closed() && client.qlog().handshake_completed(),
+            response_bytes,
+            response_data,
+            response_complete: client_done,
+            client_stack_samples_us: client.rtt().samples_us().to_vec(),
+            client_qlog: client.take_qlog(),
+            server_qlog: server.take_qlog(),
+            tap_records: sim.take_tap_records(),
+            cid_len: cfg.client.cid_len,
+            finished_at,
+        }
+    }
+}
+
+fn flush(sim: &mut Simulator, side: Side, conn: &mut Connection) {
+    while let Some(datagram) = conn.poll_transmit(sim.now()) {
+        sim.send_after(side, conn.last_send_latency(), datagram);
+    }
+}
+
+fn side_index(side: Side) -> usize {
+    match side {
+        Side::Client => 0,
+        Side::Server => 1,
+    }
+}
+
+fn arm(sim: &mut Simulator, side: Side, conn: &Connection, armed: &mut [Option<SimTime>; 2]) {
+    let Some(at) = conn.next_timeout() else { return };
+    let slot = &mut armed[side_index(side)];
+    // Skip if an earlier-or-equal wakeup is already pending; a stale later
+    // deadline is handled when that wakeup fires (on_timeout re-checks).
+    if slot.is_some_and(|pending| pending <= at) {
+        return;
+    }
+    *slot = Some(at);
+    sim.set_timer(side, at, TOKEN_TRANSPORT);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SpinPolicy;
+    use quicspin_core::FlowClassification;
+
+    #[test]
+    fn default_lab_completes_exchange() {
+        let mut lab = ConnectionLab::new(LabConfig::default());
+        let out = lab.run();
+        assert!(out.handshake_completed);
+        assert_eq!(out.response_bytes, 12_000 * 3);
+        assert!(out.client_qlog.handshake_completed());
+        assert!(!out.client_stack_samples_us.is_empty());
+    }
+
+    #[test]
+    fn stack_rtt_close_to_path_rtt() {
+        let mut lab = ConnectionLab::new(LabConfig {
+            path_rtt_ms: 60.0,
+            ..LabConfig::default()
+        });
+        let out = lab.run();
+        let min = *out.client_stack_samples_us.iter().min().unwrap() as f64 / 1000.0;
+        assert!((min - 60.0).abs() < 5.0, "stack min RTT {min} ms");
+    }
+
+    #[test]
+    fn spin_observed_and_classified_spinning() {
+        let mut lab = ConnectionLab::new(LabConfig::default());
+        let out = lab.run();
+        let report = out.observer_report();
+        assert_eq!(report.classification, FlowClassification::Spinning);
+        let spin_mean = report.spin_rtt_mean_ms().unwrap();
+        assert!(spin_mean >= 39.0, "spin RTT {spin_mean} >= path RTT");
+    }
+
+    #[test]
+    fn server_processing_delay_inflates_spin_not_stack() {
+        let mut lab = ConnectionLab::new(LabConfig {
+            path_rtt_ms: 40.0,
+            server_profile: ServerProfile {
+                initial_delay: SimDuration::from_millis(300),
+                chunks: vec![
+                    (SimDuration::ZERO, 12_000),
+                    (SimDuration::from_millis(150), 12_000),
+                    (SimDuration::from_millis(150), 12_000),
+                ],
+            },
+            ..LabConfig::default()
+        });
+        let out = lab.run();
+        let report = out.observer_report();
+        let acc = report.accuracy_received().unwrap();
+        assert!(acc.overestimates(), "spin must overestimate: {acc:?}");
+        assert!(
+            acc.mapped_ratio() > 2.0,
+            "heavy server delay → big ratio, got {}",
+            acc.mapped_ratio()
+        );
+    }
+
+    #[test]
+    fn fixed_zero_server_classified_all_zero() {
+        let mut lab = ConnectionLab::new(LabConfig {
+            server: TransportConfig::default().with_spin_policy(SpinPolicy::FixedZero),
+            ..LabConfig::default()
+        });
+        let out = lab.run();
+        let report = out.observer_report();
+        assert_eq!(report.classification, FlowClassification::AllZero);
+    }
+
+    #[test]
+    fn fixed_one_server_classified_all_one() {
+        let mut lab = ConnectionLab::new(LabConfig {
+            server: TransportConfig::default().with_spin_policy(SpinPolicy::FixedOne),
+            ..LabConfig::default()
+        });
+        let out = lab.run();
+        let report = out.observer_report();
+        assert_eq!(report.classification, FlowClassification::AllOne);
+    }
+
+    #[test]
+    fn per_packet_grease_filtered() {
+        let mut lab = ConnectionLab::new(LabConfig {
+            server: TransportConfig::default().with_spin_policy(SpinPolicy::GreasePerPacket),
+            server_profile: ServerProfile {
+                initial_delay: SimDuration::from_millis(5),
+                chunks: vec![
+                    (SimDuration::ZERO, 12_000),
+                    (SimDuration::from_millis(2), 12_000),
+                    (SimDuration::from_millis(2), 12_000),
+                ],
+            },
+            ..LabConfig::default()
+        });
+        let out = lab.run();
+        let report = out.observer_report();
+        assert_eq!(report.classification, FlowClassification::Greased);
+    }
+
+    #[test]
+    fn tap_sees_spin_without_packet_numbers() {
+        let mut lab = ConnectionLab::new(LabConfig::default());
+        let out = lab.run();
+        let obs = out.tap_observations(Side::Server);
+        assert!(!obs.is_empty());
+        assert!(obs.iter().all(|o| o.packet_number.is_none()));
+        // Both spin values appear for a spinning connection.
+        assert!(obs.iter().any(|o| o.spin) && obs.iter().any(|o| !o.spin));
+    }
+
+    #[test]
+    fn lossy_path_still_completes() {
+        let mut lab = ConnectionLab::new(LabConfig {
+            loss: 0.05,
+            seed: 3,
+            ..LabConfig::default()
+        });
+        let out = lab.run();
+        assert!(out.handshake_completed);
+        assert_eq!(out.response_bytes, 12_000 * 3, "retransmission recovers");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut lab = ConnectionLab::new(LabConfig {
+                seed,
+                loss: 0.02,
+                jitter_ms: 3.0,
+                ..LabConfig::default()
+            });
+            let out = lab.run();
+            (
+                out.response_bytes,
+                out.client_qlog.spin_observations(),
+                out.client_stack_samples_us,
+            )
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn vec_enabled_endpoints_carry_vec_on_wire() {
+        let mut lab = ConnectionLab::new(LabConfig {
+            client: TransportConfig::default().with_vec(),
+            server: TransportConfig::default().with_vec(),
+            ..LabConfig::default()
+        });
+        let out = lab.run();
+        let obs = out.tap_observations(Side::Server);
+        assert!(
+            obs.iter().any(|o| o.vec > 0),
+            "VEC values must appear on the wire"
+        );
+    }
+
+    #[test]
+    fn draft_version_lab_completes() {
+        let mut lab = ConnectionLab::new(LabConfig {
+            client: TransportConfig::default().with_version(quicspin_wire::Version::Draft34),
+            ..LabConfig::default()
+        });
+        let out = lab.run();
+        assert!(out.handshake_completed);
+    }
+}

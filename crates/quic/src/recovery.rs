@@ -1,0 +1,364 @@
+//! Sent-packet ledger, ACK processing, and loss detection (RFC 9002).
+
+use quicspin_netsim::{SimDuration, SimTime};
+use quicspin_wire::{AckRange, Frame};
+use std::collections::BTreeMap;
+
+/// Book-keeping for one sent packet.
+#[derive(Debug, Clone)]
+struct SentPacket {
+    time: SimTime,
+    ack_eliciting: bool,
+    /// Frames worth retransmitting if this packet is lost (ACK and PADDING
+    /// frames are not).
+    retransmittable: Vec<Frame>,
+}
+
+/// Result of processing one ACK frame.
+#[derive(Debug, Clone, Default)]
+pub struct AckOutcome {
+    /// RTT sample: (send time of the largest newly acked packet, was it
+    /// ack-eliciting). Only the largest newly acked, ack-eliciting packet
+    /// produces a sample (RFC 9002 §5.1).
+    pub rtt_sample_from: Option<SimTime>,
+    /// Frames from packets declared lost, to be retransmitted.
+    pub lost_frames: Vec<Frame>,
+    /// Packet numbers declared lost (for qlog).
+    pub lost_pns: Vec<u64>,
+    /// Packet numbers newly acknowledged.
+    pub newly_acked: Vec<u64>,
+}
+
+/// Sent-packet ledger for one packet-number space.
+#[derive(Debug, Clone, Default)]
+pub struct SentLedger {
+    unacked: BTreeMap<u64, SentPacket>,
+    largest_acked: Option<u64>,
+}
+
+impl SentLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        SentLedger::default()
+    }
+
+    /// Records a sent packet.
+    pub fn on_sent(&mut self, pn: u64, time: SimTime, ack_eliciting: bool, frames: &[Frame]) {
+        let retransmittable = frames
+            .iter()
+            .filter(|f| {
+                !matches!(
+                    f,
+                    Frame::Ack { .. } | Frame::Padding { .. } | Frame::ConnectionClose { .. }
+                )
+            })
+            .cloned()
+            .collect();
+        self.unacked.insert(
+            pn,
+            SentPacket {
+                time,
+                ack_eliciting,
+                retransmittable,
+            },
+        );
+    }
+
+    /// Processes an ACK frame's ranges; detects loss by packet threshold.
+    pub fn on_ack(&mut self, ranges: &[AckRange], packet_threshold: u64) -> AckOutcome {
+        let mut outcome = AckOutcome::default();
+        let mut largest_newly: Option<(u64, SimTime, bool)> = None;
+
+        for range in ranges {
+            // Collect the acked pns inside this range that we still track.
+            let acked: Vec<u64> = self
+                .unacked
+                .range(range.start..=range.end)
+                .map(|(&pn, _)| pn)
+                .collect();
+            for pn in acked {
+                let sent = self.unacked.remove(&pn).expect("pn collected above");
+                if largest_newly.map_or(true, |(l, _, _)| pn > l) {
+                    largest_newly = Some((pn, sent.time, sent.ack_eliciting));
+                }
+                outcome.newly_acked.push(pn);
+            }
+            if self.largest_acked.map_or(true, |l| range.end > l) {
+                self.largest_acked = Some(range.end);
+            }
+        }
+
+        if let Some((_, time, eliciting)) = largest_newly {
+            if eliciting {
+                outcome.rtt_sample_from = Some(time);
+            }
+        }
+
+        // Packet-threshold loss detection (RFC 9002 §6.1.1): anything more
+        // than `packet_threshold` below the largest acked is lost.
+        if let Some(largest) = self.largest_acked {
+            let cutoff = largest.saturating_sub(packet_threshold);
+            let lost: Vec<u64> = self
+                .unacked
+                .range(..cutoff)
+                .map(|(&pn, _)| pn)
+                .collect();
+            for pn in lost {
+                let sent = self.unacked.remove(&pn).expect("pn collected above");
+                outcome.lost_pns.push(pn);
+                outcome.lost_frames.extend(sent.retransmittable);
+            }
+        }
+
+        outcome
+    }
+
+    /// Time-threshold loss detection (RFC 9002 §6.1.2): packets sent
+    /// before `now - loss_delay` with a packet number below the largest
+    /// acknowledged are declared lost. Returns the affected packet
+    /// numbers and their retransmittable frames.
+    pub fn detect_time_lost(&mut self, now: SimTime, loss_delay: SimDuration) -> AckOutcome {
+        let mut outcome = AckOutcome::default();
+        let Some(largest) = self.largest_acked else {
+            return outcome;
+        };
+        let lost: Vec<u64> = self
+            .unacked
+            .range(..largest)
+            .filter(|(_, p)| now.saturating_since(p.time) >= loss_delay)
+            .map(|(&pn, _)| pn)
+            .collect();
+        for pn in lost {
+            let sent = self.unacked.remove(&pn).expect("pn collected above");
+            outcome.lost_pns.push(pn);
+            outcome.lost_frames.extend(sent.retransmittable);
+        }
+        outcome
+    }
+
+    /// Whether any ack-eliciting packet is still in flight.
+    pub fn has_eliciting_in_flight(&self) -> bool {
+        self.unacked.values().any(|p| p.ack_eliciting)
+    }
+
+    /// Number of ack-eliciting packets in flight (congestion accounting).
+    pub fn eliciting_in_flight(&self) -> u64 {
+        self.unacked.values().filter(|p| p.ack_eliciting).count() as u64
+    }
+
+    /// Send time of the oldest ack-eliciting packet in flight.
+    pub fn oldest_eliciting_time(&self) -> Option<SimTime> {
+        self.unacked
+            .values()
+            .filter(|p| p.ack_eliciting)
+            .map(|p| p.time)
+            .min()
+    }
+
+    /// PTO deadline given the estimator's interval.
+    pub fn pto_deadline(&self, pto: SimDuration) -> Option<SimTime> {
+        self.oldest_eliciting_time().map(|t| t + pto)
+    }
+
+    /// Drains the retransmittable frames of every in-flight ack-eliciting
+    /// packet (PTO recovery: retransmit everything outstanding).
+    pub fn drain_for_retransmit(&mut self) -> Vec<Frame> {
+        let mut frames = Vec::new();
+        let pns: Vec<u64> = self
+            .unacked
+            .iter()
+            .filter(|(_, p)| p.ack_eliciting)
+            .map(|(&pn, _)| pn)
+            .collect();
+        for pn in pns {
+            let sent = self.unacked.remove(&pn).expect("pn collected above");
+            frames.extend(sent.retransmittable);
+        }
+        frames
+    }
+
+    /// Number of packets still unacknowledged.
+    pub fn in_flight(&self) -> usize {
+        self.unacked.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(v: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(v)
+    }
+
+    fn ping_at(ledger: &mut SentLedger, pn: u64, t: u64) {
+        ledger.on_sent(pn, at(t), true, &[Frame::Ping]);
+    }
+
+    #[test]
+    fn ack_produces_rtt_sample_from_largest_eliciting() {
+        let mut l = SentLedger::new();
+        ping_at(&mut l, 0, 0);
+        ping_at(&mut l, 1, 10);
+        let out = l.on_ack(&[AckRange::new(0, 1)], 3);
+        assert_eq!(out.rtt_sample_from, Some(at(10)));
+        assert_eq!(out.newly_acked, vec![0, 1]);
+        assert_eq!(l.in_flight(), 0);
+    }
+
+    #[test]
+    fn non_eliciting_ack_gives_no_sample() {
+        let mut l = SentLedger::new();
+        l.on_sent(0, at(0), false, &[Frame::Padding { len: 1 }]);
+        let out = l.on_ack(&[AckRange::new(0, 0)], 3);
+        assert_eq!(out.rtt_sample_from, None);
+        assert_eq!(out.newly_acked, vec![0]);
+    }
+
+    #[test]
+    fn duplicate_ack_is_harmless() {
+        let mut l = SentLedger::new();
+        ping_at(&mut l, 0, 0);
+        l.on_ack(&[AckRange::new(0, 0)], 3);
+        let out = l.on_ack(&[AckRange::new(0, 0)], 3);
+        assert_eq!(out.rtt_sample_from, None);
+        assert!(out.newly_acked.is_empty());
+    }
+
+    #[test]
+    fn packet_threshold_declares_loss() {
+        let mut l = SentLedger::new();
+        for pn in 0..6 {
+            ping_at(&mut l, pn, pn);
+        }
+        // ACK only pn 5: cutoff = 5 - 3 = 2 → pns 0 and 1 lost.
+        let out = l.on_ack(&[AckRange::new(5, 5)], 3);
+        assert_eq!(out.lost_pns, vec![0, 1]);
+        assert_eq!(out.lost_frames, vec![Frame::Ping, Frame::Ping]);
+        // pns 2, 3, 4 still in flight.
+        assert_eq!(l.in_flight(), 3);
+    }
+
+    #[test]
+    fn ack_and_padding_frames_not_retransmitted() {
+        let mut l = SentLedger::new();
+        l.on_sent(
+            0,
+            at(0),
+            true,
+            &[
+                Frame::Ping,
+                Frame::Padding { len: 10 },
+                Frame::Ack {
+                    largest: 0,
+                    delay_us: 0,
+                    ranges: vec![AckRange::new(0, 0)],
+                },
+            ],
+        );
+        ping_at(&mut l, 5, 1);
+        let out = l.on_ack(&[AckRange::new(5, 5)], 3);
+        assert_eq!(out.lost_pns, vec![0]);
+        assert_eq!(out.lost_frames, vec![Frame::Ping], "only PING survives");
+    }
+
+    #[test]
+    fn pto_deadline_tracks_oldest_eliciting() {
+        let mut l = SentLedger::new();
+        assert_eq!(l.pto_deadline(SimDuration::from_millis(100)), None);
+        ping_at(&mut l, 0, 50);
+        ping_at(&mut l, 1, 80);
+        assert_eq!(
+            l.pto_deadline(SimDuration::from_millis(100)),
+            Some(at(150))
+        );
+        l.on_ack(&[AckRange::new(0, 0)], 3);
+        assert_eq!(
+            l.pto_deadline(SimDuration::from_millis(100)),
+            Some(at(180))
+        );
+    }
+
+    #[test]
+    fn drain_for_retransmit_empties_eliciting() {
+        let mut l = SentLedger::new();
+        ping_at(&mut l, 0, 0);
+        l.on_sent(1, at(1), false, &[Frame::Padding { len: 1 }]);
+        let frames = l.drain_for_retransmit();
+        assert_eq!(frames, vec![Frame::Ping]);
+        assert!(!l.has_eliciting_in_flight());
+        assert_eq!(l.in_flight(), 1, "non-eliciting stays");
+    }
+
+    #[test]
+    fn partial_ack_ranges() {
+        let mut l = SentLedger::new();
+        for pn in 0..10 {
+            ping_at(&mut l, pn, pn);
+        }
+        let out = l.on_ack(
+            &[AckRange::new(8, 9), AckRange::new(3, 4)],
+            100, // large threshold: no loss
+        );
+        assert_eq!(out.newly_acked, vec![8, 9, 3, 4]);
+        assert_eq!(out.rtt_sample_from, Some(at(9)));
+        assert!(out.lost_pns.is_empty());
+        assert_eq!(l.in_flight(), 6);
+    }
+
+    #[test]
+    fn time_threshold_declares_old_unacked_lost() {
+        let mut l = SentLedger::new();
+        ping_at(&mut l, 0, 0);
+        ping_at(&mut l, 1, 5);
+        ping_at(&mut l, 2, 10);
+        // ACK pn 2 only; threshold 3 keeps 0 and 1 alive (gap < 3).
+        let out = l.on_ack(&[AckRange::new(2, 2)], 3);
+        assert!(out.lost_pns.is_empty());
+        // 50 ms later with a 40 ms loss delay, pn 0 and 1 time out.
+        let out = l.detect_time_lost(at(50), SimDuration::from_millis(40));
+        assert_eq!(out.lost_pns, vec![0, 1]);
+        assert_eq!(out.lost_frames.len(), 2);
+        assert_eq!(l.in_flight(), 0);
+    }
+
+    #[test]
+    fn time_threshold_spares_recent_and_above_largest() {
+        let mut l = SentLedger::new();
+        ping_at(&mut l, 0, 0);
+        ping_at(&mut l, 5, 48); // above largest acked
+        l.on_ack(&[AckRange::new(3, 3)], 100);
+        let out = l.detect_time_lost(at(50), SimDuration::from_millis(40));
+        assert_eq!(out.lost_pns, vec![0], "pn 5 > largest acked survives");
+        assert_eq!(l.in_flight(), 1);
+    }
+
+    #[test]
+    fn time_threshold_noop_without_acks() {
+        let mut l = SentLedger::new();
+        ping_at(&mut l, 0, 0);
+        let out = l.detect_time_lost(at(1_000), SimDuration::from_millis(1));
+        assert!(out.lost_pns.is_empty(), "no largest_acked yet");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_every_packet_acked_or_lost_or_inflight(
+            sent in proptest::collection::btree_set(0u64..100, 1..40),
+            acked in proptest::collection::btree_set(0u64..100, 1..40),
+        ) {
+            let mut l = SentLedger::new();
+            for &pn in &sent {
+                ping_at(&mut l, pn, pn);
+            }
+            let ranges: Vec<AckRange> = acked.iter().rev().map(|&p| AckRange::new(p, p)).collect();
+            let out = l.on_ack(&ranges, 3);
+            let n_acked = out.newly_acked.len();
+            let n_lost = out.lost_pns.len();
+            proptest::prop_assert_eq!(n_acked + n_lost + l.in_flight(), sent.len());
+            for pn in &out.newly_acked {
+                proptest::prop_assert!(acked.contains(pn) && sent.contains(pn));
+            }
+        }
+    }
+}

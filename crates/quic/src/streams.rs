@@ -1,0 +1,382 @@
+//! Minimal stream machinery: ordered byte streams with FIN, enough for an
+//! HTTP/3-style request/response exchange (plus retransmission support).
+
+use quicspin_wire::Frame;
+use std::collections::BTreeMap;
+
+/// Sending half of one stream.
+#[derive(Debug, Clone, Default)]
+struct SendStream {
+    /// Bytes queued but not yet packetized.
+    pending: Vec<u8>,
+    /// Offset of the first byte in `pending`.
+    base_offset: u64,
+    /// FIN requested by the application.
+    fin_queued: bool,
+    /// FIN has been packetized.
+    fin_sent: bool,
+    /// Lost frames awaiting retransmission: (offset, data, fin). Served
+    /// before fresh data.
+    retransmit: Vec<(u64, Vec<u8>, bool)>,
+}
+
+/// Receiving half of one stream.
+#[derive(Debug, Clone, Default)]
+struct RecvStream {
+    /// Out-of-order segments by offset.
+    segments: BTreeMap<u64, Vec<u8>>,
+    /// Contiguously assembled prefix not yet delivered to the app.
+    assembled: Vec<u8>,
+    /// Next offset expected into `assembled`.
+    next_offset: u64,
+    /// Total stream length once FIN is known.
+    fin_at: Option<u64>,
+    /// FIN already delivered to the app.
+    fin_delivered: bool,
+}
+
+/// All streams of a connection.
+#[derive(Debug, Clone, Default)]
+pub struct StreamSet {
+    send: BTreeMap<u64, SendStream>,
+    recv: BTreeMap<u64, RecvStream>,
+}
+
+impl StreamSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        StreamSet::default()
+    }
+
+    /// Queues application data (and optionally FIN) on a stream.
+    pub fn write(&mut self, id: u64, data: &[u8], fin: bool) {
+        let s = self.send.entry(id).or_default();
+        assert!(!s.fin_queued, "write after FIN on stream {id}");
+        s.pending.extend_from_slice(data);
+        if fin {
+            s.fin_queued = true;
+        }
+    }
+
+    /// Whether any stream has data or FIN waiting to be packetized.
+    pub fn has_pending(&self) -> bool {
+        self.send.values().any(|s| {
+            !s.pending.is_empty() || !s.retransmit.is_empty() || (s.fin_queued && !s.fin_sent)
+        })
+    }
+
+    /// Produces the next STREAM frame, up to `max_len` payload bytes.
+    /// Retransmissions are served before fresh data.
+    pub fn next_frame(&mut self, max_len: usize) -> Option<Frame> {
+        for (&id, s) in self.send.iter_mut() {
+            // Retransmissions first: resend the lost frame verbatim
+            // (splitting if it exceeds max_len).
+            if let Some((offset, mut data, fin)) = s.retransmit.pop() {
+                if data.len() > max_len {
+                    let rest = data.split_off(max_len);
+                    s.retransmit.push((offset + max_len as u64, rest, fin));
+                    return Some(Frame::Stream {
+                        id,
+                        offset,
+                        fin: false,
+                        data,
+                    });
+                }
+                return Some(Frame::Stream {
+                    id,
+                    offset,
+                    fin,
+                    data,
+                });
+            }
+            if s.pending.is_empty() && !(s.fin_queued && !s.fin_sent) {
+                continue;
+            }
+            let take = s.pending.len().min(max_len);
+            let data: Vec<u8> = s.pending.drain(..take).collect();
+            let offset = s.base_offset;
+            s.base_offset += take as u64;
+            let fin = s.fin_queued && s.pending.is_empty();
+            if fin {
+                s.fin_sent = true;
+            }
+            return Some(Frame::Stream {
+                id,
+                offset,
+                fin,
+                data,
+            });
+        }
+        None
+    }
+
+    /// Re-queues a lost STREAM frame for retransmission at its original
+    /// offset.
+    pub fn requeue(&mut self, id: u64, offset: u64, data: Vec<u8>, fin: bool) {
+        let s = self.send.entry(id).or_default();
+        if !data.is_empty() || fin {
+            s.retransmit.push((offset, data, fin));
+        }
+    }
+
+    /// Ingests a received STREAM frame.
+    pub fn on_frame(&mut self, id: u64, offset: u64, data: &[u8], fin: bool) {
+        let s = self.recv.entry(id).or_default();
+        if fin {
+            s.fin_at = Some(offset + data.len() as u64);
+        }
+        if !data.is_empty() && offset + (data.len() as u64) > s.next_offset {
+            s.segments.insert(offset, data.to_vec());
+        }
+        // Assemble the contiguous prefix.
+        loop {
+            let Some((&seg_offset, _)) = s.segments.range(..=s.next_offset).next_back() else {
+                break;
+            };
+            let seg = s.segments.remove(&seg_offset).expect("segment exists");
+            let seg_end = seg_offset + seg.len() as u64;
+            if seg_end <= s.next_offset {
+                continue; // fully duplicate
+            }
+            let skip = (s.next_offset - seg_offset) as usize;
+            s.assembled.extend_from_slice(&seg[skip..]);
+            s.next_offset = seg_end;
+        }
+    }
+
+    /// Reads newly assembled data; returns `(data, fin_reached)`.
+    /// Returns `None` when nothing new is available.
+    pub fn read(&mut self, id: u64) -> Option<(Vec<u8>, bool)> {
+        let s = self.recv.get_mut(&id)?;
+        let fin_now = s.fin_at == Some(s.next_offset) && !s.fin_delivered;
+        if s.assembled.is_empty() && !fin_now {
+            return None;
+        }
+        let data = std::mem::take(&mut s.assembled);
+        if fin_now {
+            s.fin_delivered = true;
+        }
+        Some((data, fin_now))
+    }
+
+    /// Stream IDs with data or FIN available to read.
+    pub fn readable(&self) -> Vec<u64> {
+        self.recv
+            .iter()
+            .filter(|(_, s)| {
+                !s.assembled.is_empty() || (s.fin_at == Some(s.next_offset) && !s.fin_delivered)
+            })
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Total bytes received in order on a stream.
+    pub fn bytes_received(&self, id: u64) -> u64 {
+        self.recv.get(&id).map_or(0, |s| s.next_offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_packetize() {
+        let mut s = StreamSet::new();
+        s.write(0, b"hello world", true);
+        assert!(s.has_pending());
+        let f = s.next_frame(5).unwrap();
+        assert_eq!(
+            f,
+            Frame::Stream {
+                id: 0,
+                offset: 0,
+                fin: false,
+                data: b"hello".to_vec()
+            }
+        );
+        let f = s.next_frame(100).unwrap();
+        assert_eq!(
+            f,
+            Frame::Stream {
+                id: 0,
+                offset: 5,
+                fin: true,
+                data: b" world".to_vec()
+            }
+        );
+        assert!(!s.has_pending());
+        assert!(s.next_frame(100).is_none());
+    }
+
+    #[test]
+    fn fin_only_frame() {
+        let mut s = StreamSet::new();
+        s.write(4, b"", true);
+        let f = s.next_frame(100).unwrap();
+        assert_eq!(
+            f,
+            Frame::Stream {
+                id: 4,
+                offset: 0,
+                fin: true,
+                data: vec![]
+            }
+        );
+    }
+
+    #[test]
+    fn in_order_receive_and_read() {
+        let mut s = StreamSet::new();
+        s.on_frame(0, 0, b"abc", false);
+        s.on_frame(0, 3, b"def", true);
+        assert_eq!(s.readable(), vec![0]);
+        let (data, fin) = s.read(0).unwrap();
+        assert_eq!(data, b"abcdef");
+        assert!(fin);
+        assert!(s.read(0).is_none());
+        assert_eq!(s.bytes_received(0), 6);
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let mut s = StreamSet::new();
+        s.on_frame(0, 3, b"def", true);
+        assert!(s.read(0).is_none(), "gap: nothing readable yet");
+        s.on_frame(0, 0, b"abc", false);
+        let (data, fin) = s.read(0).unwrap();
+        assert_eq!(data, b"abcdef");
+        assert!(fin);
+    }
+
+    #[test]
+    fn duplicate_and_overlapping_segments() {
+        let mut s = StreamSet::new();
+        s.on_frame(0, 0, b"abcd", false);
+        s.on_frame(0, 0, b"abcd", false); // full duplicate
+        s.on_frame(0, 2, b"cdef", true); // overlap
+        let (data, fin) = s.read(0).unwrap();
+        assert_eq!(data, b"abcdef");
+        assert!(fin);
+    }
+
+    #[test]
+    fn fin_without_data_read() {
+        let mut s = StreamSet::new();
+        s.on_frame(2, 0, b"", true);
+        let (data, fin) = s.read(2).unwrap();
+        assert!(data.is_empty());
+        assert!(fin);
+        assert!(s.read(2).is_none(), "fin delivered once");
+    }
+
+    #[test]
+    fn requeue_retransmits_lost_frame() {
+        let mut s = StreamSet::new();
+        s.write(0, b"abcdef", true);
+        let f1 = s.next_frame(3).unwrap(); // "abc"
+        let _f2 = s.next_frame(3).unwrap(); // "def" + fin
+        // f1 is lost → requeue.
+        if let Frame::Stream {
+            id,
+            offset,
+            fin,
+            data,
+        } = f1
+        {
+            s.requeue(id, offset, data, fin);
+        }
+        let f = s.next_frame(100).unwrap();
+        assert_eq!(
+            f,
+            Frame::Stream {
+                id: 0,
+                offset: 0,
+                fin: false,
+                data: b"abc".to_vec()
+            }
+        );
+    }
+
+    #[test]
+    fn requeue_fin_restores_fin() {
+        let mut s = StreamSet::new();
+        s.write(0, b"xy", true);
+        let f = s.next_frame(100).unwrap();
+        if let Frame::Stream {
+            id,
+            offset,
+            fin,
+            data,
+        } = f
+        {
+            assert!(fin);
+            s.requeue(id, offset, data, fin);
+        }
+        let f2 = s.next_frame(100).unwrap();
+        assert_eq!(
+            f2,
+            Frame::Stream {
+                id: 0,
+                offset: 0,
+                fin: true,
+                data: b"xy".to_vec()
+            }
+        );
+    }
+
+    #[test]
+    fn multiple_streams_round_robin_by_id() {
+        let mut s = StreamSet::new();
+        s.write(4, b"b", false);
+        s.write(0, b"a", false);
+        let f = s.next_frame(100).unwrap();
+        match f {
+            Frame::Stream { id, .. } => assert_eq!(id, 0, "lowest id first"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "write after FIN")]
+    fn write_after_fin_panics() {
+        let mut s = StreamSet::new();
+        s.write(0, b"a", true);
+        s.write(0, b"b", false);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_reassembly_any_order(chunks in proptest::collection::vec(
+            proptest::collection::vec(proptest::prelude::any::<u8>(), 1..20), 1..10
+        ), perm_seed: u64) {
+            // Build the reference byte stream and its (offset, data) chunks.
+            let mut offset = 0u64;
+            let mut pieces = Vec::new();
+            let mut reference = Vec::new();
+            for c in &chunks {
+                pieces.push((offset, c.clone()));
+                reference.extend_from_slice(c);
+                offset += c.len() as u64;
+            }
+            let last = pieces.len() - 1;
+            // Shuffle deterministically.
+            let mut state = perm_seed.wrapping_add(1);
+            for i in (1..pieces.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = (state >> 33) as usize % (i + 1);
+                pieces.swap(i, j);
+            }
+            let mut s = StreamSet::new();
+            let total = reference.len() as u64;
+            for (i, (off, data)) in pieces.iter().enumerate() {
+                let is_last_piece = *off + data.len() as u64 == total;
+                s.on_frame(0, *off, data, is_last_piece);
+                let _ = (i, last);
+            }
+            let (data, fin) = s.read(0).unwrap();
+            proptest::prop_assert_eq!(data, reference);
+            proptest::prop_assert!(fin);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Artifact export (the paper's Appendix B): bundle a campaign's
+//! retained qlog traces into a qlog file and/or the compact binary form,
+//! "stripping unused information to limit the file size" exactly as the
+//! paper's release does.
+
+use crate::campaign::Campaign;
+use crate::record::ScanOutcome;
+use quicspin_qlog::{encode_trace, EventData, QlogFile, TraceLog};
+
+/// Collects every retained qlog trace of a campaign into one qlog file.
+/// Requires the campaign to have run with `keep_qlogs`.
+pub fn export_qlogs(campaign: &Campaign) -> QlogFile {
+    let traces: Vec<TraceLog> = campaign
+        .records
+        .iter()
+        .filter(|r| r.outcome == ScanOutcome::Ok)
+        .filter_map(|r| r.qlog.clone())
+        .collect();
+    QlogFile::new(traces)
+}
+
+/// Strips a trace down to the fields the spin analysis needs — received
+/// 1-RTT packets and RTT updates — mirroring the paper's size-limited
+/// release ("stripping unused information to limit the file size").
+pub fn strip_for_release(trace: &TraceLog) -> TraceLog {
+    let mut stripped = TraceLog::new(trace.vantage_point.clone());
+    stripped.title = trace.title.clone();
+    stripped.events = trace
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.data,
+                EventData::PacketReceived { .. } | EventData::RttUpdated { .. }
+            )
+        })
+        .cloned()
+        .collect();
+    stripped
+}
+
+/// Exports all retained traces in the compact binary format, stripped.
+/// Returns one byte blob per connection.
+pub fn export_binary_stripped(campaign: &Campaign) -> Vec<Vec<u8>> {
+    campaign
+        .records
+        .iter()
+        .filter_map(|r| r.qlog.as_ref())
+        .map(|t| encode_trace(&strip_for_release(t)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{CampaignConfig, Scanner};
+    use crate::probe::NetworkConditions;
+    use quicspin_qlog::decode_trace;
+    use quicspin_webpop::{Population, PopulationConfig};
+
+    fn campaign_with_qlogs() -> Campaign {
+        let pop = Population::generate(PopulationConfig {
+            seed: 31,
+            toplist_domains: 50,
+            zone_domains: 800,
+        });
+        Scanner::new(&pop).run_campaign(&CampaignConfig {
+            conditions: NetworkConditions::clean(),
+            keep_qlogs: true,
+            ..CampaignConfig::default()
+        })
+    }
+
+    #[test]
+    fn qlogs_retained_and_exported() {
+        let campaign = campaign_with_qlogs();
+        let established = campaign.established().count();
+        assert!(established > 0);
+        let file = export_qlogs(&campaign);
+        assert_eq!(file.traces.len(), established);
+        for trace in &file.traces {
+            assert_eq!(trace.vantage_point, "client");
+            assert!(trace.title.starts_with("www."), "title {:?}", trace.title);
+            assert!(trace.handshake_completed());
+        }
+    }
+
+    #[test]
+    fn default_campaign_retains_nothing() {
+        let pop = Population::generate(PopulationConfig::tiny(32));
+        let campaign = Scanner::new(&pop).run_campaign(&CampaignConfig {
+            conditions: NetworkConditions::clean(),
+            ..CampaignConfig::default()
+        });
+        assert!(campaign.records.iter().all(|r| r.qlog.is_none()));
+        assert!(export_qlogs(&campaign).traces.is_empty());
+    }
+
+    #[test]
+    fn stripping_preserves_spin_observations() {
+        let campaign = campaign_with_qlogs();
+        let trace = campaign
+            .records
+            .iter()
+            .find_map(|r| r.qlog.as_ref())
+            .expect("a retained trace");
+        let stripped = strip_for_release(trace);
+        assert_eq!(
+            stripped.spin_observations(),
+            trace.spin_observations(),
+            "the §3.3 extraction survives stripping"
+        );
+        assert_eq!(stripped.rtt_samples_us(), trace.rtt_samples_us());
+        assert!(stripped.len() <= trace.len());
+        assert!(!stripped.handshake_completed(), "lifecycle events stripped");
+    }
+
+    #[test]
+    fn binary_export_roundtrips_and_shrinks() {
+        let campaign = campaign_with_qlogs();
+        let blobs = export_binary_stripped(&campaign);
+        assert_eq!(blobs.len(), campaign.established().count());
+        let originals: Vec<&TraceLog> = campaign
+            .records
+            .iter()
+            .filter_map(|r| r.qlog.as_ref())
+            .collect();
+        for (blob, original) in blobs.iter().zip(originals) {
+            let decoded = decode_trace(blob).unwrap();
+            assert_eq!(decoded.spin_observations(), original.spin_observations());
+            let json_len = serde_json::to_string(original).unwrap().len();
+            assert!(
+                blob.len() * 3 < json_len,
+                "binary {} vs json {json_len}",
+                blob.len()
+            );
+        }
+    }
+}

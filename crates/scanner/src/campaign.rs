@@ -1,0 +1,345 @@
+//! Full-population campaigns: one measurement sweep over every target,
+//! sharded across threads.
+
+use crate::probe::{probe_connection_with_qlog, NetworkConditions};
+use crate::record::{ConnectionRecord, ScanOutcome};
+use quicspin_core::{GreaseFilter, ObserverConfig};
+use quicspin_h3::MAX_REDIRECTS;
+use quicspin_webpop::{IpVersion, Population};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Measurement week index (0 = CW 15, 2022 in the paper's calendar).
+    pub week: u32,
+    /// IP version of this sweep.
+    pub version: IpVersion,
+    /// Worker threads (sharded by domain id; results are identical for
+    /// any thread count).
+    pub threads: usize,
+    /// Path conditions.
+    pub conditions: NetworkConditions,
+    /// Observer configuration used for the per-connection reports.
+    pub observer: ObserverConfig,
+    /// Grease filter applied during classification.
+    pub grease: GreaseFilter,
+    /// Retain the full client qlog trace on every established record
+    /// (the paper's Appendix B artifact capture; memory-heavy).
+    pub keep_qlogs: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            week: 0,
+            version: IpVersion::V4,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            conditions: NetworkConditions::default(),
+            observer: ObserverConfig::default(),
+            grease: GreaseFilter::paper(),
+            keep_qlogs: false,
+        }
+    }
+}
+
+/// The result of one sweep: every connection record, ordered by domain.
+#[derive(Debug)]
+pub struct Campaign {
+    /// Week the campaign ran in.
+    pub week: u32,
+    /// IP version used.
+    pub version: IpVersion,
+    /// All records (≥ 1 per domain attempted; redirects add more).
+    pub records: Vec<ConnectionRecord>,
+}
+
+impl Campaign {
+    /// Records of established connections only.
+    pub fn established(&self) -> impl Iterator<Item = &ConnectionRecord> + Clone {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == ScanOutcome::Ok)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the campaign produced no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// The scanner: a population plus the machinery to sweep it.
+#[derive(Debug)]
+pub struct Scanner<'p> {
+    population: &'p Population,
+}
+
+impl<'p> Scanner<'p> {
+    /// Creates a scanner over a population.
+    pub fn new(population: &'p Population) -> Self {
+        Scanner { population }
+    }
+
+    /// Scans a single domain (following redirects); returns all records.
+    pub fn scan_domain(&self, domain_id: u32, config: &CampaignConfig) -> Vec<ConnectionRecord> {
+        let d = self.population.domain(domain_id);
+        let resolved = match config.version {
+            IpVersion::V4 => d.resolved_v4,
+            IpVersion::V6 => d.resolved_v6,
+        };
+        if !resolved {
+            return vec![ConnectionRecord::failed(
+                d.id,
+                d.list,
+                d.org,
+                config.week,
+                config.version,
+                ScanOutcome::NotResolved,
+            )];
+        }
+        let Some(first_plan) = self
+            .population
+            .plan_connection(domain_id, config.week, config.version, 0)
+        else {
+            return vec![ConnectionRecord::failed(
+                d.id,
+                d.list,
+                d.org,
+                config.week,
+                config.version,
+                ScanOutcome::NoQuic,
+            )];
+        };
+        if !self.population.is_reachable(domain_id, config.week) {
+            return vec![ConnectionRecord::failed(
+                d.id,
+                d.list,
+                d.org,
+                config.week,
+                config.version,
+                ScanOutcome::Unreachable,
+            )];
+        }
+
+        let mut records = Vec::new();
+        let mut plan = first_plan;
+        for depth in 0..=(MAX_REDIRECTS as u32) {
+            let (record, response) = probe_connection_with_qlog(
+                d,
+                &plan,
+                config.week,
+                config.version,
+                depth,
+                &config.conditions,
+                config.observer,
+                config.grease,
+                config.keep_qlogs,
+            );
+            let follow = record.outcome == ScanOutcome::Ok
+                && response.as_ref().is_some_and(|r| r.status.is_redirect())
+                && depth < MAX_REDIRECTS as u32;
+            records.push(record);
+            if !follow {
+                break;
+            }
+            // The redirect target is the canonical page on the same host
+            // (a fresh connection, as the paper counts it).
+            match self
+                .population
+                .plan_connection(domain_id, config.week, config.version, depth + 1)
+            {
+                Some(next) => plan = next,
+                None => break,
+            }
+        }
+        records
+    }
+
+    /// Runs a full sweep over every domain.
+    pub fn run_campaign(&self, config: &CampaignConfig) -> Campaign {
+        let n = self.population.len() as u32;
+        self.run_campaign_over(config, 0..n)
+    }
+
+    /// Runs a sweep over a subrange of domain ids (sharding building
+    /// block; also used to scan only QUIC candidates in longitudinal
+    /// mode).
+    pub fn run_campaign_over(
+        &self,
+        config: &CampaignConfig,
+        ids: std::ops::Range<u32>,
+    ) -> Campaign {
+        let threads = config.threads.max(1);
+        let ids: Vec<u32> = ids.collect();
+        let mut records: Vec<ConnectionRecord> = if threads == 1 || ids.len() < 64 {
+            ids.iter()
+                .flat_map(|&id| self.scan_domain(id, config))
+                .collect()
+        } else {
+            let chunk = ids.len().div_ceil(threads);
+            let mut shards: Vec<Vec<ConnectionRecord>> = Vec::new();
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = ids
+                    .chunks(chunk)
+                    .map(|shard| {
+                        scope.spawn(move |_| {
+                            shard
+                                .iter()
+                                .flat_map(|&id| self.scan_domain(id, config))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    shards.push(h.join().expect("scan shard panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            shards.into_iter().flatten().collect()
+        };
+        records.sort_by_key(|r| (r.domain_id, r.redirect_depth));
+        Campaign {
+            week: config.week,
+            version: config.version,
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicspin_webpop::PopulationConfig;
+
+    fn tiny_pop() -> Population {
+        Population::generate(PopulationConfig {
+            seed: 42,
+            toplist_domains: 100,
+            zone_domains: 900,
+        })
+    }
+
+    fn clean_config() -> CampaignConfig {
+        CampaignConfig {
+            conditions: NetworkConditions::clean(),
+            threads: 2,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_covers_every_domain() {
+        let pop = tiny_pop();
+        let campaign = Scanner::new(&pop).run_campaign(&clean_config());
+        use std::collections::HashSet;
+        let ids: HashSet<u32> = campaign.records.iter().map(|r| r.domain_id).collect();
+        assert_eq!(ids.len(), pop.len());
+        assert!(!campaign.is_empty());
+        assert!(campaign.len() >= pop.len());
+    }
+
+    #[test]
+    fn outcomes_match_population_flags() {
+        let pop = tiny_pop();
+        let campaign = Scanner::new(&pop).run_campaign(&clean_config());
+        for r in &campaign.records {
+            let d = pop.domain(r.domain_id);
+            match r.outcome {
+                ScanOutcome::NotResolved => assert!(!d.resolved_v4),
+                ScanOutcome::NoQuic => assert!(d.resolved_v4 && !d.quic),
+                ScanOutcome::Ok | ScanOutcome::HandshakeFailed => assert!(d.quic),
+                ScanOutcome::Unreachable => assert!(d.quic),
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let pop = tiny_pop();
+        let scanner = Scanner::new(&pop);
+        let mut one = clean_config();
+        one.threads = 1;
+        let mut four = clean_config();
+        four.threads = 4;
+        let a = scanner.run_campaign(&one);
+        let b = scanner.run_campaign(&four);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.domain_id, y.domain_id);
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.report, y.report);
+        }
+    }
+
+    #[test]
+    fn redirects_produce_extra_connections() {
+        let pop = tiny_pop();
+        let campaign = Scanner::new(&pop).run_campaign(&clean_config());
+        let with_redirect: Vec<_> = campaign
+            .records
+            .iter()
+            .filter(|r| r.redirect_depth > 0)
+            .collect();
+        assert!(
+            !with_redirect.is_empty(),
+            "some redirect chains must occur at REDIRECT_RATE"
+        );
+        for r in &with_redirect {
+            assert!(pop.domain(r.domain_id).redirects);
+        }
+    }
+
+    #[test]
+    fn established_iterator_filters() {
+        let pop = tiny_pop();
+        let campaign = Scanner::new(&pop).run_campaign(&clean_config());
+        assert!(campaign
+            .established()
+            .all(|r| r.outcome == ScanOutcome::Ok && r.report.is_some()));
+    }
+
+    #[test]
+    fn v6_campaign_scans_fewer_hosts() {
+        let pop = tiny_pop();
+        let scanner = Scanner::new(&pop);
+        let v4 = scanner.run_campaign(&clean_config());
+        let mut v6_cfg = clean_config();
+        v6_cfg.version = IpVersion::V6;
+        let v6 = scanner.run_campaign(&v6_cfg);
+        let ok4 = v4.established().count();
+        let ok6 = v6.established().count();
+        assert!(ok6 < ok4, "v6 ({ok6}) must be rarer than v4 ({ok4})");
+    }
+
+    #[test]
+    fn weeks_vary_spin_behaviour() {
+        let pop = Population::generate(PopulationConfig {
+            seed: 7,
+            toplist_domains: 0,
+            zone_domains: 3_000,
+        });
+        let scanner = Scanner::new(&pop);
+        let spin_count = |week: u32| {
+            let cfg = CampaignConfig {
+                week,
+                ..clean_config()
+            };
+            scanner
+                .run_campaign(&cfg)
+                .records
+                .iter()
+                .filter(|r| r.has_spin_activity())
+                .count()
+        };
+        let a = spin_count(0);
+        let b = spin_count(5);
+        // Churn and the 1-in-16 rule make weekly counts fluctuate; we only
+        // require both weeks to see some spinning (the population has
+        // spin-enabled hosts with high probability at this size).
+        assert!(a > 0 && b > 0, "weeks 0/5 spin counts: {a}/{b}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # quicspin-scanner — the zgrab2 analogue
+//!
+//! The paper's measurement tooling is an adapted zgrab2 with quic-go
+//! underneath (§3.2.1). This crate plays the same role against the
+//! synthetic population:
+//!
+//! * targets come from the population's domain lists, queried with a
+//!   "www." prefix;
+//! * each target gets an HTTP/3-style landing-page request over a fully
+//!   simulated QUIC connection, following up to 3 redirects;
+//! * every connection produces a [`ConnectionRecord`] holding the §3.3
+//!   qlog extraction (spin observations), the stack's RTT samples, the
+//!   `server:` identification, and the spin classification;
+//! * campaigns run weekly (IPv4) or in selected weeks (IPv6), sharded
+//!   across threads with `crossbeam` — reproducible regardless of thread
+//!   count because every connection is seeded independently.
+
+pub mod artifacts;
+pub mod campaign;
+pub mod longitudinal;
+pub mod probe;
+pub mod record;
+
+pub use artifacts::{export_binary_stripped, export_qlogs, strip_for_release};
+pub use campaign::{Campaign, CampaignConfig, Scanner};
+pub use longitudinal::{run_longitudinal, DomainWeeks, LongitudinalConfig, LongitudinalResult};
+pub use probe::{probe_connection, NetworkConditions};
+pub use record::{ConnectionRecord, ScanOutcome};

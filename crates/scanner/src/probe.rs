@@ -1,0 +1,354 @@
+//! Probing one target: run the full QUIC+HTTP/3 exchange for one
+//! connection plan and distill a [`ConnectionRecord`].
+
+use crate::record::{ConnectionRecord, ScanOutcome};
+use quicspin_core::{GreaseFilter, ObserverConfig, ObserverReport};
+use quicspin_h3::{Request, Response};
+use quicspin_netsim::{Rng, SimDuration};
+use quicspin_quic::{ConnectionLab, LabConfig, ServerProfile, TransportConfig};
+use quicspin_webpop::{ConnectionPlan, DomainRecord, IpVersion, WebServer};
+
+/// Network conditions of the scan path (the part of the path shared by
+/// all measurements from the vantage point).
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkConditions {
+    /// Per-direction loss probability.
+    pub loss: f64,
+    /// Per-direction probability that a packet is held back and overtaken
+    /// (reordering; the paper finds its impact nearly negligible, §5.2).
+    pub reorder: f64,
+    /// Jitter as a fraction of the path RTT.
+    pub jitter_frac: f64,
+}
+
+impl Default for NetworkConditions {
+    fn default() -> Self {
+        NetworkConditions {
+            loss: 0.001,
+            reorder: 0.00006,
+            jitter_frac: 0.0003,
+        }
+    }
+}
+
+impl NetworkConditions {
+    /// Perfectly clean paths (for tests and ablations).
+    pub fn clean() -> Self {
+        NetworkConditions {
+            loss: 0.0,
+            reorder: 0.0,
+            jitter_frac: 0.0,
+        }
+    }
+}
+
+/// Runs one planned connection; returns the record plus the parsed
+/// response (for redirect following).
+pub fn probe_connection(
+    domain: &DomainRecord,
+    plan: &ConnectionPlan,
+    week: u32,
+    version: IpVersion,
+    redirect_depth: u32,
+    conditions: &NetworkConditions,
+    observer: ObserverConfig,
+    grease: GreaseFilter,
+) -> (ConnectionRecord, Option<Response>) {
+    probe_connection_with_qlog(
+        domain,
+        plan,
+        week,
+        version,
+        redirect_depth,
+        conditions,
+        observer,
+        grease,
+        false,
+    )
+}
+
+/// [`probe_connection`] with optional retention of the full client qlog
+/// trace on the record (Appendix B-style artifact capture).
+#[allow(clippy::too_many_arguments)]
+pub fn probe_connection_with_qlog(
+    domain: &DomainRecord,
+    plan: &ConnectionPlan,
+    week: u32,
+    version: IpVersion,
+    redirect_depth: u32,
+    conditions: &NetworkConditions,
+    observer: ObserverConfig,
+    grease: GreaseFilter,
+    keep_qlog: bool,
+) -> (ConnectionRecord, Option<Response>) {
+    // Build the HTTP exchange for this hop.
+    let request = Request::get(
+        domain.www_name(),
+        if redirect_depth == 0 { "/" } else { "/canonical" },
+    );
+    let is_redirect_hop = plan.redirects && redirect_depth == 0;
+    let response = if is_redirect_hop {
+        Response::redirect(
+            plan.webserver.header_value(),
+            format!("https://{}/canonical", domain.www_name()),
+        )
+    } else {
+        Response::ok(plan.webserver.header_value(), plan.server_profile.total_bytes())
+    };
+    // Redirect hops answer with a header-only page (one small chunk),
+    // still after the host's processing delay.
+    let server_profile = if is_redirect_hop {
+        ServerProfile {
+            initial_delay: plan.server_profile.initial_delay,
+            chunks: vec![(SimDuration::ZERO, 600)],
+        }
+    } else {
+        plan.server_profile.clone()
+    };
+
+    // Endpoint processing latencies. Pure ACKs take the transport fast
+    // path (tens of µs); data packets go through application write
+    // scheduling (hundreds of µs to ms on loaded servers). The spin-edge
+    // reply is a data packet, so spin periods systematically sit above
+    // the stack's handshake-anchored minimum — the §6 end-host-delay
+    // mechanism behind Fig. 3/4's overestimation.
+    let mut latency_rng = Rng::new(plan.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let client_data = SimDuration::from_micros(60 + latency_rng.next_below(90));
+    let client_ack = SimDuration::from_micros(30 + latency_rng.next_below(50));
+    let server_data = SimDuration::from_micros(500 + latency_rng.next_below(1000));
+    let server_ack = SimDuration::from_micros(30 + latency_rng.next_below(60));
+    let server_cfg = TransportConfig::default()
+        .with_spin_policy(plan.spin_policy)
+        .with_processing_latency(server_data, server_ack);
+    let lab_cfg = LabConfig {
+        path_rtt_ms: plan.rtt_ms,
+        jitter_ms: plan.rtt_ms * conditions.jitter_frac,
+        loss: conditions.loss,
+        reorder: conditions.reorder,
+        reorder_hold_ms: 2.0,
+        seed: plan.seed,
+        client: TransportConfig::default().with_processing_latency(client_data, client_ack),
+        server: server_cfg,
+        server_profile,
+        link_rate_bytes_per_sec: Some(12_500_000),
+        tap_position: 0.5,
+        request: request.encode(),
+        response_prefix: response.encode_header(),
+        max_duration: SimDuration::from_secs(60),
+    };
+    let outcome = ConnectionLab::new(lab_cfg).run();
+
+    if !outcome.handshake_completed {
+        return (
+            ConnectionRecord {
+                domain_id: domain.id,
+                list: domain.list,
+                org: domain.org,
+                week,
+                version,
+                redirect_depth,
+                outcome: ScanOutcome::HandshakeFailed,
+                host: Some(plan.host),
+                webserver: None,
+                report: None,
+                qlog: keep_qlog.then(|| outcome.client_qlog.clone()),
+            },
+            None,
+        );
+    }
+
+    let parsed = Response::parse_header(&outcome.response_data).map(|(r, _)| r);
+    let webserver = parsed
+        .as_ref()
+        .map(|r| WebServer::from_header(&r.server));
+    let report = ObserverReport::build(
+        &outcome.client_observations(),
+        outcome.client_stack_samples_us.clone(),
+        observer,
+        grease,
+    );
+
+    let record = ConnectionRecord {
+        domain_id: domain.id,
+        list: domain.list,
+        org: domain.org,
+        week,
+        version,
+        redirect_depth,
+        outcome: ScanOutcome::Ok,
+        host: Some(plan.host),
+        webserver,
+        report: Some(report),
+        qlog: keep_qlog.then(|| {
+            let mut trace = outcome.client_qlog.clone();
+            trace.title = domain.www_name();
+            trace
+        }),
+    };
+    (record, parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicspin_core::FlowClassification;
+    use quicspin_webpop::{Population, PopulationConfig};
+
+    fn population() -> Population {
+        Population::generate(PopulationConfig::tiny(99))
+    }
+
+    fn first_quic(pop: &Population) -> &quicspin_webpop::DomainRecord {
+        pop.domains().iter().find(|d| d.quic).expect("quic domain")
+    }
+
+    #[test]
+    fn probe_establishes_and_reports() {
+        let pop = population();
+        let d = first_quic(&pop);
+        let plan = pop.plan_connection(d.id, 0, IpVersion::V4, 0).unwrap();
+        let (record, response) = probe_connection(
+            d,
+            &plan,
+            0,
+            IpVersion::V4,
+            0,
+            &NetworkConditions::clean(),
+            ObserverConfig::default(),
+            GreaseFilter::paper(),
+        );
+        assert_eq!(record.outcome, ScanOutcome::Ok);
+        assert!(record.report.is_some());
+        assert!(record.webserver.is_some());
+        if !plan.redirects {
+            let r = response.expect("response parsed");
+            assert_eq!(r.server, plan.webserver.header_value());
+        }
+    }
+
+    #[test]
+    fn redirect_hop_parses_location() {
+        let pop = population();
+        let d = pop
+            .domains()
+            .iter()
+            .find(|d| d.quic && d.redirects)
+            .expect("redirecting quic domain");
+        let plan = pop.plan_connection(d.id, 0, IpVersion::V4, 0).unwrap();
+        let (record, response) = probe_connection(
+            d,
+            &plan,
+            0,
+            IpVersion::V4,
+            0,
+            &NetworkConditions::clean(),
+            ObserverConfig::default(),
+            GreaseFilter::paper(),
+        );
+        assert_eq!(record.outcome, ScanOutcome::Ok);
+        let r = response.expect("redirect response");
+        assert!(r.status.is_redirect());
+        assert!(r.location.as_deref().unwrap().contains("canonical"));
+    }
+
+    #[test]
+    fn spinning_host_yields_spin_activity() {
+        let pop = Population::generate(PopulationConfig {
+            seed: 5,
+            toplist_domains: 0,
+            zone_domains: 20_000,
+        });
+        // Over many participating connections, the clear majority must
+        // show spin activity. (A fast host answering a small page within
+        // one congestion window can legitimately complete before any flip
+        // becomes observable — the paper's "Spin" column also only counts
+        // *observable* activity.)
+        let mut checked = 0;
+        let mut active = 0;
+        for d in pop.domains().iter().filter(|d| d.quic && d.host_spin) {
+            let plan = pop.plan_connection(d.id, 0, IpVersion::V4, 0).unwrap();
+            if plan.spin_policy != quicspin_quic::SpinPolicy::Participate {
+                continue;
+            }
+            let (record, _) = probe_connection(
+                d,
+                &plan,
+                0,
+                IpVersion::V4,
+                0,
+                &NetworkConditions::clean(),
+                ObserverConfig::default(),
+                GreaseFilter::paper(),
+            );
+            let report = record.report.unwrap();
+            if matches!(
+                report.classification,
+                FlowClassification::Spinning | FlowClassification::Greased
+            ) {
+                active += 1;
+            }
+            checked += 1;
+            if checked >= 40 {
+                break;
+            }
+        }
+        assert!(checked >= 20, "found only {checked} participating hosts");
+        let rate = f64::from(active) / f64::from(checked);
+        assert!(rate > 0.6, "spin activity rate {rate} ({active}/{checked})");
+    }
+
+    #[test]
+    fn fixed_zero_host_yields_all_zero() {
+        let pop = Population::generate(PopulationConfig {
+            seed: 6,
+            toplist_domains: 0,
+            zone_domains: 5_000,
+        });
+        for d in pop.domains().iter().filter(|d| d.quic && !d.host_spin) {
+            let plan = pop.plan_connection(d.id, 0, IpVersion::V4, 0).unwrap();
+            if plan.spin_policy != quicspin_quic::SpinPolicy::FixedZero {
+                continue;
+            }
+            let (record, _) = probe_connection(
+                d,
+                &plan,
+                0,
+                IpVersion::V4,
+                0,
+                &NetworkConditions::clean(),
+                ObserverConfig::default(),
+                GreaseFilter::paper(),
+            );
+            assert_eq!(
+                record.report.unwrap().classification,
+                FlowClassification::AllZero
+            );
+            return;
+        }
+        panic!("no FixedZero host found");
+    }
+
+    #[test]
+    fn probe_is_deterministic() {
+        let pop = population();
+        let d = first_quic(&pop);
+        let plan = pop.plan_connection(d.id, 0, IpVersion::V4, 0).unwrap();
+        let run = || {
+            probe_connection(
+                d,
+                &plan,
+                0,
+                IpVersion::V4,
+                0,
+                &NetworkConditions::default(),
+                ObserverConfig::default(),
+                GreaseFilter::paper(),
+            )
+            .0
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.webserver, b.webserver);
+    }
+}

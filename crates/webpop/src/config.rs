@@ -1,0 +1,114 @@
+//! Population configuration and scaling.
+
+use serde::{Deserialize, Serialize};
+
+/// Resolution rate of toplist domains (paper Table 1: 1.94 M / 2.73 M).
+pub const TOPLIST_RESOLVE_RATE: f64 = 0.709;
+/// Resolution rate of zone domains (paper Table 1: 183.7 M / 216.5 M).
+pub const ZONE_RESOLVE_RATE: f64 = 0.849;
+/// Share of CZDS domains in .com/.net/.org (183.0 M / 216.5 M).
+pub const COM_NET_ORG_FRACTION: f64 = 0.845;
+/// Probability that a landing page redirects once (drives the
+/// connections-per-domain ratio above 1, as in the paper's ≥1 connection
+/// per domain note).
+pub const REDIRECT_RATE: f64 = 0.15;
+
+/// Sizing and seeding of the synthetic population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Number of toplist domains (paper: 2,732,702).
+    pub toplist_domains: u32,
+    /// Number of CZDS zone domains (paper: 216,520,521).
+    pub zone_domains: u32,
+}
+
+impl PopulationConfig {
+    /// Paper-proportioned population at `1:denominator` scale.
+    ///
+    /// `paper_scale(1000)` gives ≈ 2.7 k toplist + 216 k zone domains;
+    /// composition and all rates are scale-free, so shares reproduce at
+    /// any denominator (small scales only add sampling noise).
+    pub fn paper_scale(denominator: u32) -> Self {
+        assert!(denominator > 0, "denominator must be positive");
+        PopulationConfig {
+            seed: 0x5eed_2023,
+            toplist_domains: (2_732_702 / denominator).max(1),
+            zone_domains: (216_520_521u64 / u64::from(denominator)).max(1) as u32,
+        }
+    }
+
+    /// A small population for unit tests (fast, still mixed).
+    pub fn tiny(seed: u64) -> Self {
+        PopulationConfig {
+            seed,
+            toplist_domains: 500,
+            zone_domains: 4_000,
+        }
+    }
+
+    /// Total number of domains.
+    pub fn total_domains(&self) -> u64 {
+        u64::from(self.toplist_domains) + u64::from(self.zone_domains)
+    }
+
+    /// Builder-style: override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig::paper_scale(1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_divides() {
+        let c = PopulationConfig::paper_scale(1000);
+        assert_eq!(c.toplist_domains, 2_732);
+        assert_eq!(c.zone_domains, 216_520);
+        assert_eq!(c.total_domains(), 2_732 + 216_520);
+    }
+
+    #[test]
+    fn scale_one_is_full_paper_size() {
+        let c = PopulationConfig::paper_scale(1);
+        assert_eq!(c.toplist_domains, 2_732_702);
+        assert_eq!(c.zone_domains, 216_520_521);
+    }
+
+    #[test]
+    fn extreme_scale_clamps_to_one() {
+        let c = PopulationConfig::paper_scale(u32::MAX);
+        assert_eq!(c.toplist_domains, 1);
+        assert_eq!(c.zone_domains, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_denominator_panics() {
+        PopulationConfig::paper_scale(0);
+    }
+
+    #[test]
+    fn with_seed_changes_only_seed() {
+        let c = PopulationConfig::default().with_seed(42);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.toplist_domains, PopulationConfig::default().toplist_domains);
+    }
+
+    #[test]
+    fn constants_match_paper() {
+        assert!((TOPLIST_RESOLVE_RATE - 1_937_701.0 / 2_732_702.0).abs() < 0.001);
+        assert!((ZONE_RESOLVE_RATE - 183_735_238.0 / 216_520_521.0).abs() < 0.001);
+        assert!((COM_NET_ORG_FRACTION - 183_047_638.0 / 216_520_521.0).abs() < 0.001);
+    }
+}

@@ -1,0 +1,211 @@
+//! End-host delay classes and path RTT sampling.
+//!
+//! The paper attributes the spin bit's RTT overestimation to end-host
+//! delays (§6): request processing, application-limited sending, loaded
+//! shared-hosting machines. We model each host as belonging to one of
+//! three service classes; the class determines the distribution of the
+//! request-processing delay and of the gaps between response chunks.
+//! These delays stretch observed spin periods *in the simulation* — the
+//! Fig. 3/4 distributions are emergent, not hard-coded.
+
+use quicspin_netsim::{Rng, SimDuration};
+use quicspin_quic::ServerProfile;
+use serde::{Deserialize, Serialize};
+
+/// Host service class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceClass {
+    /// Dedicated / CDN-grade: single-digit-ms processing.
+    Fast,
+    /// Ordinary VPS: tens of ms.
+    Medium,
+    /// Oversubscribed shared hosting: hundreds of ms, heavy tail.
+    Slow,
+}
+
+impl ServiceClass {
+    /// From the stored index (0/1/2).
+    pub fn from_index(idx: u8) -> ServiceClass {
+        match idx {
+            0 => ServiceClass::Fast,
+            1 => ServiceClass::Medium,
+            _ => ServiceClass::Slow,
+        }
+    }
+
+    /// To the stored index.
+    pub fn index(self) -> u8 {
+        match self {
+            ServiceClass::Fast => 0,
+            ServiceClass::Medium => 1,
+            ServiceClass::Slow => 2,
+        }
+    }
+
+    /// Log-normal parameters (median_ms, sigma) for the initial
+    /// request-processing delay.
+    fn initial_delay_params(self) -> (f64, f64) {
+        match self {
+            ServiceClass::Fast => (3.0, 0.5),
+            ServiceClass::Medium => (50.0, 0.6),
+            ServiceClass::Slow => (420.0, 0.9),
+        }
+    }
+
+    /// Log-normal parameters (median_ms, sigma) for inter-chunk gaps.
+    fn chunk_gap_params(self) -> (f64, f64) {
+        match self {
+            ServiceClass::Fast => (0.8, 0.5),
+            ServiceClass::Medium => (25.0, 0.6),
+            ServiceClass::Slow => (280.0, 0.9),
+        }
+    }
+
+    /// Samples the initial processing delay.
+    pub fn sample_initial_delay(self, rng: &mut Rng) -> SimDuration {
+        let (median, sigma) = self.initial_delay_params();
+        SimDuration::from_millis_f64(rng.lognormal(median.ln(), sigma))
+    }
+
+    /// Samples one inter-chunk gap.
+    pub fn sample_chunk_gap(self, rng: &mut Rng) -> SimDuration {
+        let (median, sigma) = self.chunk_gap_params();
+        SimDuration::from_millis_f64(rng.lognormal(median.ln(), sigma))
+    }
+
+    /// Builds a full [`ServerProfile`] for a page of `page_bytes`,
+    /// splitting it into chunks whose gaps follow this class.
+    pub fn sample_server_profile(self, page_bytes: u32, rng: &mut Rng) -> ServerProfile {
+        let total = page_bytes.max(1200) as usize;
+        // Pages are generated in 2-6 application-level chunks.
+        let n_chunks = 2 + rng.index(5);
+        let chunk_size = total / n_chunks;
+        let mut chunks = Vec::with_capacity(n_chunks);
+        for i in 0..n_chunks {
+            let gap = if i == 0 {
+                SimDuration::ZERO
+            } else {
+                self.sample_chunk_gap(rng)
+            };
+            let size = if i + 1 == n_chunks {
+                total - chunk_size * (n_chunks - 1)
+            } else {
+                chunk_size
+            };
+            chunks.push((gap, size));
+        }
+        ServerProfile {
+            initial_delay: self.sample_initial_delay(rng),
+            chunks,
+        }
+    }
+}
+
+/// Path RTT model: log-normal around a per-org median.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RttProfile {
+    /// Median RTT in ms.
+    pub median_ms: f64,
+    /// Log-normal sigma.
+    pub sigma: f64,
+}
+
+impl RttProfile {
+    /// Samples a per-host RTT, clamped to a sane floor (2 ms — nothing on
+    /// the web is closer than that to the vantage point).
+    pub fn sample(self, rng: &mut Rng) -> f64 {
+        rng.lognormal(self.median_ms.ln(), self.sigma).max(2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for c in [ServiceClass::Fast, ServiceClass::Medium, ServiceClass::Slow] {
+            assert_eq!(ServiceClass::from_index(c.index()), c);
+        }
+        assert_eq!(ServiceClass::from_index(200), ServiceClass::Slow);
+    }
+
+    #[test]
+    fn class_delays_are_ordered() {
+        let mut rng = Rng::new(1);
+        let mean = |class: ServiceClass, rng: &mut Rng| {
+            (0..2000)
+                .map(|_| class.sample_initial_delay(rng).as_millis_f64())
+                .sum::<f64>()
+                / 2000.0
+        };
+        let fast = mean(ServiceClass::Fast, &mut rng);
+        let medium = mean(ServiceClass::Medium, &mut rng);
+        let slow = mean(ServiceClass::Slow, &mut rng);
+        assert!(fast < medium && medium < slow, "{fast} {medium} {slow}");
+        assert!(fast < 10.0, "fast hosts answer in single-digit ms: {fast}");
+        assert!(slow > 150.0, "slow hosts take hundreds of ms: {slow}");
+    }
+
+    #[test]
+    fn server_profile_covers_page_bytes() {
+        let mut rng = Rng::new(2);
+        for bytes in [1_000u32, 30_000, 250_000] {
+            let profile = ServiceClass::Medium.sample_server_profile(bytes, &mut rng);
+            assert_eq!(profile.total_bytes(), bytes.max(1200) as usize);
+            assert!(profile.chunks.len() >= 2 && profile.chunks.len() <= 6);
+            assert_eq!(profile.chunks[0].0, SimDuration::ZERO, "first chunk immediate");
+        }
+    }
+
+    #[test]
+    fn slow_profiles_have_long_gaps() {
+        let mut rng = Rng::new(3);
+        let profile = ServiceClass::Slow.sample_server_profile(60_000, &mut rng);
+        let total_gap: f64 = profile
+            .chunks
+            .iter()
+            .map(|(g, _)| g.as_millis_f64())
+            .sum();
+        assert!(total_gap > 50.0, "slow chunk gaps sum to {total_gap} ms");
+    }
+
+    #[test]
+    fn rtt_profile_positive_and_spread() {
+        let mut rng = Rng::new(4);
+        let p = RttProfile {
+            median_ms: 40.0,
+            sigma: 0.6,
+        };
+        let samples: Vec<f64> = (0..5000).map(|_| p.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&v| v >= 2.0));
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!((median - 40.0).abs() < 4.0, "median {median}");
+        assert!(sorted[sorted.len() - 1] > 100.0, "heavy tail present");
+    }
+
+    #[test]
+    fn rtt_floor_applies() {
+        let mut rng = Rng::new(5);
+        let p = RttProfile {
+            median_ms: 2.0,
+            sigma: 1.0,
+        };
+        for _ in 0..1000 {
+            assert!(p.sample(&mut rng) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let run = |seed| {
+            let mut rng = Rng::new(seed);
+            ServiceClass::Slow
+                .sample_server_profile(50_000, &mut rng)
+                .chunks
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

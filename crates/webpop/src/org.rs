@@ -1,0 +1,454 @@
+//! Hosting organizations (the paper's Table 2 actors) and their profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// The organizations modelled explicitly, plus the long tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Org {
+    /// Cloudflare — largest QUIC deployment, no spin bit.
+    Cloudflare,
+    /// Google — second largest, virtually no spin bit.
+    Google,
+    /// Hostinger — shared hosting on LiteSpeed, the largest spin driver.
+    Hostinger,
+    /// Fastly — CDN, no spin bit.
+    Fastly,
+    /// OVH SAS — hosting, majority spin.
+    Ovh,
+    /// A2 Hosting — shared hosting, majority spin.
+    A2Hosting,
+    /// SingleHop — hosting, majority spin.
+    SingleHop,
+    /// Server Central — hosting, majority spin.
+    ServerCentral,
+    /// Everyone else (the broad support base of §4.2).
+    Other,
+}
+
+/// All modelled organizations in Table 2 order.
+pub const ALL_ORGS: [Org; 9] = [
+    Org::Cloudflare,
+    Org::Google,
+    Org::Hostinger,
+    Org::Fastly,
+    Org::Ovh,
+    Org::A2Hosting,
+    Org::SingleHop,
+    Org::ServerCentral,
+    Org::Other,
+];
+
+impl Org {
+    /// Display name as used in Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            Org::Cloudflare => "Cloudflare",
+            Org::Google => "Google",
+            Org::Hostinger => "Hostinger",
+            Org::Fastly => "Fastly",
+            Org::Ovh => "OVH SAS",
+            Org::A2Hosting => "A2 Hosting",
+            Org::SingleHop => "SingleHop",
+            Org::ServerCentral => "Server Central",
+            Org::Other => "<other>",
+        }
+    }
+
+    /// A representative AS number (for the as2org-style mapping).
+    pub fn asn(self) -> u32 {
+        match self {
+            Org::Cloudflare => 13335,
+            Org::Google => 15169,
+            Org::Hostinger => 47583,
+            Org::Fastly => 54113,
+            Org::Ovh => 16276,
+            Org::A2Hosting => 55293,
+            Org::SingleHop => 32475,
+            Org::ServerCentral => 23352,
+            Org::Other => 0,
+        }
+    }
+
+    /// Index into [`ORG_PROFILES`].
+    pub fn index(self) -> usize {
+        ALL_ORGS.iter().position(|&o| o == self).expect("in table")
+    }
+}
+
+/// Web-server software (the §4.2 attribution target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WebServer {
+    /// LiteSpeed — carries the overwhelming share of spin support.
+    LiteSpeed,
+    /// imunify360-webshield — LiteSpeed-derived security frontend.
+    Imunify360,
+    /// Cloudflare's proprietary frontend.
+    CloudflareFrontend,
+    /// Google's frontend (gws).
+    GoogleFrontend,
+    /// nginx with QUIC support (no spin).
+    NginxQuic,
+    /// Caddy (quic-go based; the real quic-go supports the spin bit).
+    Caddy,
+    /// Anything else.
+    OtherServer,
+}
+
+impl WebServer {
+    /// The `server:` header value.
+    pub fn header_value(self) -> &'static str {
+        match self {
+            WebServer::LiteSpeed => "LiteSpeed",
+            WebServer::Imunify360 => "imunify360-webshield/1.21",
+            WebServer::CloudflareFrontend => "cloudflare",
+            WebServer::GoogleFrontend => "gws",
+            WebServer::NginxQuic => "nginx/1.25.3",
+            WebServer::Caddy => "Caddy",
+            WebServer::OtherServer => "httpd",
+        }
+    }
+
+    /// Parses a `server:` header back into the enum.
+    pub fn from_header(value: &str) -> WebServer {
+        if value.starts_with("LiteSpeed") {
+            WebServer::LiteSpeed
+        } else if value.starts_with("imunify360") {
+            WebServer::Imunify360
+        } else if value == "cloudflare" {
+            WebServer::CloudflareFrontend
+        } else if value == "gws" {
+            WebServer::GoogleFrontend
+        } else if value.starts_with("nginx") {
+            WebServer::NginxQuic
+        } else if value.starts_with("Caddy") {
+            WebServer::Caddy
+        } else {
+            WebServer::OtherServer
+        }
+    }
+}
+
+/// Service classes: how loaded/slow the hosts of an org are. The weights
+/// shape Figs. 3/4 *through the simulation* (slow hosts stretch spin
+/// periods; the stack estimate stays at path RTT).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ServiceMix {
+    /// Weight of fast hosts (dedicated/CDN-grade; spin ≈ accurate).
+    pub fast: f64,
+    /// Weight of medium hosts.
+    pub medium: f64,
+    /// Weight of slow hosts (overloaded shared hosting; spin ≫ RTT).
+    pub slow: f64,
+}
+
+/// Everything the generator needs to know about one organization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OrgProfile {
+    /// The organization.
+    pub org: Org,
+    /// Share of *toplist* domains hosted here.
+    pub toplist_share: f64,
+    /// Share of *zone* (CZDS) domains hosted here.
+    pub zone_share: f64,
+    /// P(a resolved zone domain on this org speaks QUIC).
+    pub quic_rate: f64,
+    /// P(a resolved toplist domain on this org speaks QUIC) — popular
+    /// sites differ from the zone-file long tail.
+    pub quic_rate_toplist: f64,
+    /// P(a QUIC host of this org has the spin bit enabled in its stack).
+    pub spin_host_rate: f64,
+    /// How hosts that do NOT spin disable the bit:
+    /// (all-zero, all-one, per-packet grease) weights; the remainder of
+    /// probability mass greases per connection.
+    pub disable_mix: (f64, f64, f64),
+    /// Average zone domains per IPv4 address (anycast/shared-hosting
+    /// pooling; Table 1: 22.2 M QUIC domains on 260 k IPs).
+    pub ipv4_pooling: u32,
+    /// Average toplist domains per IPv4 address (popular domains sit on
+    /// less-pooled, CDN-distributed addresses; Table 1: 547 k on 119 k).
+    pub ipv4_pooling_toplist: u32,
+    /// Average domains per IPv6 address (1 = a distinct address per
+    /// domain, the shared-hoster pattern that blows up Table 4's IP
+    /// counts).
+    pub ipv6_pooling: u32,
+    /// P(a domain on this org has AAAA + QUIC-over-v6), toplist domains.
+    pub ipv6_rate_toplist: f64,
+    /// P(AAAA + QUIC-over-v6), zone domains.
+    pub ipv6_rate_zone: f64,
+    /// Web-server mix: (LiteSpeed, imunify360, org frontend, nginx,
+    /// caddy); remainder = other.
+    pub webserver_mix: (f64, f64, f64, f64, f64),
+    /// Host service classes.
+    pub service_mix: ServiceMix,
+    /// Path RTT from the vantage point: log-normal median (ms).
+    pub rtt_median_ms: f64,
+    /// Path RTT log-normal sigma.
+    pub rtt_sigma: f64,
+}
+
+/// The calibrated organization table.
+///
+/// Domain shares are derived from the paper's Table 2 connection shares
+/// divided by per-org QUIC rates (so that the *measured* QUIC connection
+/// mix reproduces Table 2), pooling ratios from Table 1/4 IP counts, and
+/// spin rates from Table 2's Spin % column (host rate ≈ conn rate ÷ the
+/// 15/16 mandatory-disable factor).
+pub const ORG_PROFILES: [OrgProfile; 9] = [
+    OrgProfile {
+        org: Org::Cloudflare,
+        toplist_share: 0.200,
+        zone_share: 0.0642,
+        quic_rate: 0.97,
+        quic_rate_toplist: 0.97,
+        spin_host_rate: 0.0,
+        disable_mix: (0.998, 0.0005, 0.0),
+        ipv4_pooling: 1100,
+        ipv4_pooling_toplist: 6,
+        ipv6_pooling: 1100,
+        ipv6_rate_toplist: 0.85,
+        ipv6_rate_zone: 0.45,
+        webserver_mix: (0.0, 0.0, 1.0, 0.0, 0.0),
+        service_mix: ServiceMix { fast: 0.95, medium: 0.05, slow: 0.0 },
+        rtt_median_ms: 14.0,
+        rtt_sigma: 0.5,
+    },
+    OrgProfile {
+        org: Org::Google,
+        toplist_share: 0.050,
+        zone_share: 0.0337,
+        quic_rate: 0.985,
+        quic_rate_toplist: 0.985,
+        spin_host_rate: 0.0011,
+        disable_mix: (0.998, 0.0005, 0.0),
+        ipv4_pooling: 900,
+        ipv4_pooling_toplist: 5,
+        ipv6_pooling: 900,
+        ipv6_rate_toplist: 0.90,
+        ipv6_rate_zone: 0.50,
+        webserver_mix: (0.0, 0.0, 0.0, 0.0, 0.0),
+        service_mix: ServiceMix { fast: 0.97, medium: 0.03, slow: 0.0 },
+        rtt_median_ms: 12.0,
+        rtt_sigma: 0.4,
+    },
+    OrgProfile {
+        org: Org::Hostinger,
+        toplist_share: 0.024,
+        zone_share: 0.00968,
+        quic_rate: 0.88,
+        quic_rate_toplist: 0.88,
+        spin_host_rate: 0.60,
+        disable_mix: (0.976, 0.002, 0.0002),
+        ipv4_pooling: 55,
+        ipv4_pooling_toplist: 2,
+        ipv6_pooling: 1,
+        ipv6_rate_toplist: 0.45,
+        ipv6_rate_zone: 0.87,
+        webserver_mix: (0.89, 0.095, 0.0, 0.01, 0.0),
+        service_mix: ServiceMix { fast: 0.27, medium: 0.13, slow: 0.60 },
+        rtt_median_ms: 28.0,
+        rtt_sigma: 0.6,
+    },
+    OrgProfile {
+        org: Org::Fastly,
+        toplist_share: 0.020,
+        zone_share: 0.00192,
+        quic_rate: 0.92,
+        quic_rate_toplist: 0.92,
+        spin_host_rate: 0.0,
+        disable_mix: (0.998, 0.0005, 0.0),
+        ipv4_pooling: 170,
+        ipv4_pooling_toplist: 4,
+        ipv6_pooling: 170,
+        ipv6_rate_toplist: 0.80,
+        ipv6_rate_zone: 0.50,
+        webserver_mix: (0.0, 0.0, 0.0, 0.0, 0.0),
+        service_mix: ServiceMix { fast: 0.95, medium: 0.05, slow: 0.0 },
+        rtt_median_ms: 15.0,
+        rtt_sigma: 0.4,
+    },
+    OrgProfile {
+        org: Org::Ovh,
+        toplist_share: 0.004,
+        zone_share: 0.00232,
+        quic_rate: 0.52,
+        quic_rate_toplist: 0.52,
+        spin_host_rate: 0.66,
+        disable_mix: (0.975, 0.003, 0.0002),
+        ipv4_pooling: 16,
+        ipv4_pooling_toplist: 2,
+        ipv6_pooling: 1,
+        ipv6_rate_toplist: 0.35,
+        ipv6_rate_zone: 0.30,
+        webserver_mix: (0.72, 0.05, 0.0, 0.10, 0.03),
+        service_mix: ServiceMix { fast: 0.35, medium: 0.20, slow: 0.45 },
+        rtt_median_ms: 22.0,
+        rtt_sigma: 0.5,
+    },
+    OrgProfile {
+        org: Org::A2Hosting,
+        toplist_share: 0.003,
+        zone_share: 0.00211,
+        quic_rate: 0.57,
+        quic_rate_toplist: 0.57,
+        spin_host_rate: 0.65,
+        disable_mix: (0.975, 0.003, 0.0002),
+        ipv4_pooling: 17,
+        ipv4_pooling_toplist: 2,
+        ipv6_pooling: 1,
+        ipv6_rate_toplist: 0.30,
+        ipv6_rate_zone: 0.25,
+        webserver_mix: (0.85, 0.07, 0.0, 0.02, 0.0),
+        service_mix: ServiceMix { fast: 0.25, medium: 0.18, slow: 0.57 },
+        rtt_median_ms: 105.0,
+        rtt_sigma: 0.4,
+    },
+    OrgProfile {
+        org: Org::SingleHop,
+        toplist_share: 0.002,
+        zone_share: 0.00184,
+        quic_rate: 0.52,
+        quic_rate_toplist: 0.52,
+        spin_host_rate: 0.65,
+        disable_mix: (0.975, 0.003, 0.0002),
+        ipv4_pooling: 15,
+        ipv4_pooling_toplist: 2,
+        ipv6_pooling: 1,
+        ipv6_rate_toplist: 0.30,
+        ipv6_rate_zone: 0.20,
+        webserver_mix: (0.84, 0.08, 0.0, 0.02, 0.0),
+        service_mix: ServiceMix { fast: 0.27, medium: 0.18, slow: 0.55 },
+        rtt_median_ms: 110.0,
+        rtt_sigma: 0.35,
+    },
+    OrgProfile {
+        org: Org::ServerCentral,
+        toplist_share: 0.0015,
+        zone_share: 0.00157,
+        quic_rate: 0.52,
+        quic_rate_toplist: 0.52,
+        spin_host_rate: 0.74,
+        disable_mix: (0.975, 0.003, 0.0002),
+        ipv4_pooling: 15,
+        ipv4_pooling_toplist: 2,
+        ipv6_pooling: 1,
+        ipv6_rate_toplist: 0.30,
+        ipv6_rate_zone: 0.20,
+        webserver_mix: (0.86, 0.06, 0.0, 0.02, 0.0),
+        service_mix: ServiceMix { fast: 0.28, medium: 0.20, slow: 0.52 },
+        rtt_median_ms: 112.0,
+        rtt_sigma: 0.35,
+    },
+    OrgProfile {
+        org: Org::Other,
+        toplist_share: 0.6955,
+        zone_share: 0.88266,
+        quic_rate: 0.0159,
+        quic_rate_toplist: 0.022,
+        spin_host_rate: 0.55,
+        disable_mix: (0.984, 0.004, 0.0002),
+        ipv4_pooling: 13,
+        ipv4_pooling_toplist: 1,
+        ipv6_pooling: 1,
+        ipv6_rate_toplist: 0.12,
+        ipv6_rate_zone: 0.03,
+        webserver_mix: (0.60, 0.07, 0.0, 0.12, 0.04),
+        service_mix: ServiceMix { fast: 0.36, medium: 0.12, slow: 0.52 },
+        rtt_median_ms: 45.0,
+        rtt_sigma: 0.8,
+    },
+];
+
+/// Looks up the profile for an org.
+pub fn profile(org: Org) -> &'static OrgProfile {
+    &ORG_PROFILES[org.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_complete_and_consistent() {
+        assert_eq!(ORG_PROFILES.len(), ALL_ORGS.len());
+        for (i, p) in ORG_PROFILES.iter().enumerate() {
+            assert_eq!(p.org, ALL_ORGS[i], "profile order matches ALL_ORGS");
+            assert_eq!(profile(p.org).org, p.org);
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let top: f64 = ORG_PROFILES.iter().map(|p| p.toplist_share).sum();
+        let zone: f64 = ORG_PROFILES.iter().map(|p| p.zone_share).sum();
+        assert!((top - 1.0).abs() < 1e-9, "toplist shares sum {top}");
+        assert!((zone - 1.0).abs() < 1e-9, "zone shares sum {zone}");
+    }
+
+    #[test]
+    fn probabilities_in_range() {
+        for p in &ORG_PROFILES {
+            for v in [
+                p.quic_rate,
+                p.spin_host_rate,
+                p.ipv6_rate_toplist,
+                p.ipv6_rate_zone,
+                p.disable_mix.0,
+                p.disable_mix.1,
+                p.disable_mix.2,
+            ] {
+                assert!((0.0..=1.0).contains(&v), "{:?}: {v}", p.org);
+            }
+            let mix = p.disable_mix.0 + p.disable_mix.1 + p.disable_mix.2;
+            assert!(mix <= 1.0, "{:?} disable mix {mix}", p.org);
+            let s = p.service_mix;
+            assert!((s.fast + s.medium + s.slow - 1.0).abs() < 1e-9, "{:?}", p.org);
+            let w = p.webserver_mix;
+            assert!(w.0 + w.1 + w.2 + w.3 + w.4 <= 1.0, "{:?}", p.org);
+            assert!(p.ipv4_pooling >= 1 && p.ipv6_pooling >= 1);
+            assert!(p.rtt_median_ms > 0.0 && p.rtt_sigma >= 0.0);
+        }
+    }
+
+    #[test]
+    fn hyperscalers_do_not_spin_hosters_do() {
+        assert_eq!(profile(Org::Cloudflare).spin_host_rate, 0.0);
+        assert_eq!(profile(Org::Fastly).spin_host_rate, 0.0);
+        assert!(profile(Org::Google).spin_host_rate < 0.01);
+        for org in [Org::Hostinger, Org::Ovh, Org::A2Hosting, Org::SingleHop, Org::ServerCentral] {
+            assert!(profile(org).spin_host_rate > 0.5, "{org:?}");
+        }
+    }
+
+    #[test]
+    fn hosters_use_litespeed() {
+        for org in [Org::Hostinger, Org::A2Hosting, Org::SingleHop, Org::ServerCentral] {
+            assert!(profile(org).webserver_mix.0 > 0.8, "{org:?} LiteSpeed share");
+        }
+    }
+
+    #[test]
+    fn webserver_header_roundtrip() {
+        for ws in [
+            WebServer::LiteSpeed,
+            WebServer::Imunify360,
+            WebServer::CloudflareFrontend,
+            WebServer::GoogleFrontend,
+            WebServer::NginxQuic,
+            WebServer::Caddy,
+            WebServer::OtherServer,
+        ] {
+            assert_eq!(WebServer::from_header(ws.header_value()), ws);
+        }
+        assert_eq!(WebServer::from_header("unknown-thing"), WebServer::OtherServer);
+    }
+
+    #[test]
+    fn org_names_and_asns_unique() {
+        let mut names: Vec<_> = ALL_ORGS.iter().map(|o| o.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_ORGS.len());
+        assert_eq!(Org::Cloudflare.asn(), 13335);
+        assert_eq!(Org::Google.asn(), 15169);
+    }
+}

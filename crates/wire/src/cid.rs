@@ -1,0 +1,188 @@
+//! QUIC connection IDs (RFC 9000 §5.1): 0..=20 opaque bytes.
+
+use crate::coding::{Reader, Writer};
+use crate::error::WireError;
+
+/// Maximum connection ID length allowed by QUIC v1.
+pub const MAX_CID_LEN: usize = 20;
+
+/// A QUIC connection ID: up to 20 opaque bytes, stored inline.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnectionId {
+    len: u8,
+    bytes: [u8; MAX_CID_LEN],
+}
+
+impl ConnectionId {
+    /// The zero-length connection ID.
+    pub const EMPTY: ConnectionId = ConnectionId {
+        len: 0,
+        bytes: [0; MAX_CID_LEN],
+    };
+
+    /// Creates a connection ID from a slice; fails for slices longer than 20 bytes.
+    pub fn new(data: &[u8]) -> Result<Self, WireError> {
+        if data.len() > MAX_CID_LEN {
+            return Err(WireError::InvalidCidLength(data.len()));
+        }
+        let mut bytes = [0u8; MAX_CID_LEN];
+        bytes[..data.len()].copy_from_slice(data);
+        Ok(ConnectionId {
+            len: data.len() as u8,
+            bytes,
+        })
+    }
+
+    /// Derives an 8-byte connection ID deterministically from a u64 (useful
+    /// for simulated endpoints; real stacks use random CIDs).
+    pub fn from_u64(v: u64) -> Self {
+        ConnectionId::new(&v.to_be_bytes()).expect("8 <= 20")
+    }
+
+    /// Length in bytes (0..=20).
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Whether this is the zero-length CID.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The CID bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len()]
+    }
+
+    /// Writes the raw CID bytes (no length prefix).
+    pub fn encode_raw(&self, w: &mut Writer) {
+        w.write_bytes(self.as_slice());
+    }
+
+    /// Writes a one-byte length followed by the CID bytes (long-header form).
+    pub fn encode_with_len(&self, w: &mut Writer) {
+        w.write_u8(self.len);
+        w.write_bytes(self.as_slice());
+    }
+
+    /// Reads a CID of known length `len` (short-header form).
+    pub fn decode_raw(r: &mut Reader<'_>, len: usize) -> Result<Self, WireError> {
+        if len > MAX_CID_LEN {
+            return Err(WireError::InvalidCidLength(len));
+        }
+        let data = r.read_bytes(len, "connection id")?;
+        ConnectionId::new(data)
+    }
+
+    /// Reads a length-prefixed CID (long-header form).
+    pub fn decode_with_len(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = usize::from(r.read_u8("connection id length")?);
+        ConnectionId::decode_raw(r, len)
+    }
+}
+
+impl core::fmt::Debug for ConnectionId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "cid:")?;
+        for b in self.as_slice() {
+            write!(f, "{b:02x}")?;
+        }
+        if self.is_empty() {
+            write!(f, "<empty>")?;
+        }
+        Ok(())
+    }
+}
+
+impl core::fmt::Display for ConnectionId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cid() {
+        let c = ConnectionId::EMPTY;
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.as_slice(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn rejects_over_long() {
+        assert_eq!(
+            ConnectionId::new(&[0u8; 21]),
+            Err(WireError::InvalidCidLength(21))
+        );
+        assert!(ConnectionId::new(&[0u8; 20]).is_ok());
+    }
+
+    #[test]
+    fn from_u64_is_eight_bytes_and_unique() {
+        let a = ConnectionId::from_u64(1);
+        let b = ConnectionId::from_u64(2);
+        assert_eq!(a.len(), 8);
+        assert_ne!(a, b);
+        assert_eq!(a, ConnectionId::from_u64(1));
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let c = ConnectionId::new(&[1, 2, 3, 4, 5]).unwrap();
+        let mut w = Writer::new();
+        c.encode_raw(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 5);
+        let mut r = Reader::new(&bytes);
+        let back = ConnectionId::decode_raw(&mut r, 5).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn len_prefixed_roundtrip() {
+        for n in [0usize, 1, 8, 20] {
+            let data: Vec<u8> = (0..n as u8).collect();
+            let c = ConnectionId::new(&data).unwrap();
+            let mut w = Writer::new();
+            c.encode_with_len(&mut w);
+            let bytes = w.into_bytes();
+            assert_eq!(bytes.len(), 1 + n);
+            let mut r = Reader::new(&bytes);
+            assert_eq!(ConnectionId::decode_with_len(&mut r).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn decode_raw_rejects_bad_length() {
+        let bytes = [0u8; 32];
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            ConnectionId::decode_raw(&mut r, 21),
+            Err(WireError::InvalidCidLength(21))
+        ));
+    }
+
+    #[test]
+    fn debug_format_hex() {
+        let c = ConnectionId::new(&[0xab, 0xcd]).unwrap();
+        assert_eq!(format!("{c:?}"), "cid:abcd");
+        assert_eq!(format!("{}", ConnectionId::EMPTY), "cid:<empty>");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..=20)) {
+            let c = ConnectionId::new(&data).unwrap();
+            let mut w = Writer::new();
+            c.encode_with_len(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = ConnectionId::decode_with_len(&mut r).unwrap();
+            proptest::prop_assert_eq!(back.as_slice(), &data[..]);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Wire-level error type.
+
+use core::fmt;
+
+/// Errors produced while encoding or decoding QUIC wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before a complete value could be read.
+    UnexpectedEnd {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+    },
+    /// A varint exceeded the encodable range (2^62 - 1).
+    VarIntRange(u64),
+    /// A connection ID length outside 0..=20 was requested or decoded.
+    InvalidCidLength(usize),
+    /// The first byte did not have the fixed bit (0x40) set.
+    FixedBitUnset,
+    /// An unknown or unsupported QUIC version code.
+    UnknownVersion(u32),
+    /// An unknown frame type was encountered.
+    UnknownFrameType(u64),
+    /// A field carried a semantically invalid value.
+    Malformed {
+        /// What was malformed.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEnd { context } => {
+                write!(f, "unexpected end of input while reading {context}")
+            }
+            WireError::VarIntRange(v) => write!(f, "value {v} exceeds varint range (2^62-1)"),
+            WireError::InvalidCidLength(l) => {
+                write!(f, "connection id length {l} outside 0..=20")
+            }
+            WireError::FixedBitUnset => write!(f, "fixed bit (0x40) not set in first byte"),
+            WireError::UnknownVersion(v) => write!(f, "unknown QUIC version {v:#010x}"),
+            WireError::UnknownFrameType(t) => write!(f, "unknown frame type {t:#x}"),
+            WireError::Malformed { context } => write!(f, "malformed field: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::UnexpectedEnd { context: "varint" };
+        assert!(e.to_string().contains("varint"));
+        let e = WireError::VarIntRange(u64::MAX);
+        assert!(e.to_string().contains("varint range"));
+        let e = WireError::InvalidCidLength(33);
+        assert!(e.to_string().contains("33"));
+        let e = WireError::UnknownVersion(0xdead_beef);
+        assert!(e.to_string().contains("0xdeadbeef"));
+        let e = WireError::UnknownFrameType(0x99);
+        assert!(e.to_string().contains("0x99"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: std::error::Error>(_e: E) {}
+        takes_err(WireError::FixedBitUnset);
+    }
+}

@@ -1,0 +1,468 @@
+//! QUIC packet headers (RFC 9000 §17).
+//!
+//! Two header forms exist:
+//!
+//! * **Long headers** carry the version and both connection IDs and are used
+//!   during connection establishment (Initial, 0-RTT, Handshake, Retry).
+//!   Long-header packets never carry a spin bit.
+//! * **Short headers** (1-RTT) carry only the destination CID. Bit `0x20`
+//!   of the first byte is the **latency spin bit** (RFC 9000 §17.3.1 /
+//!   §17.4) — the one bit this entire study is about.
+//!
+//! Short-header first byte layout (RFC 9000 §17.3.1):
+//!
+//! ```text
+//!   0 1 2 3 4 5 6 7
+//!  +-+-+-+-+-+-+-+-+
+//!  |0|1|S|R R|K|P P|
+//!  +-+-+-+-+-+-+-+-+
+//!   | |  \    \  \__ packet number length - 1 (2 bits)
+//!   | |   \    \____ key phase (not modelled; always 0 here)
+//!   | |    \________ reserved bits (0 without header protection)
+//!   | \_____________ SPIN BIT
+//!   \_______________ header form (0 = short) / fixed bit (1)
+//! ```
+
+use crate::cid::ConnectionId;
+use crate::coding::{Reader, Writer};
+use crate::error::WireError;
+use crate::packet::PacketNumber;
+use crate::version::Version;
+
+/// Bit 0x80: header form (1 = long header).
+pub const FORM_BIT: u8 = 0x80;
+/// Bit 0x40: fixed bit, must be 1 in all v1 packets.
+pub const FIXED_BIT: u8 = 0x40;
+/// Bit 0x20 of a short header: the latency spin bit.
+pub const SPIN_BIT: u8 = 0x20;
+/// Bits 0x18 of a short header: reserved. Our endpoints can optionally
+/// carry the Valid Edge Counter (De Vaere et al.) here — see
+/// `quicspin-core`'s `vec_counter` module. Plain RFC 9000 endpoints
+/// leave them zero (they are greased on the real wire; the simulator
+/// keeps them meaningful so the VEC ablation can run).
+pub const VEC_MASK: u8 = 0x18;
+/// Shift of the VEC within the first byte.
+pub const VEC_SHIFT: u8 = 3;
+/// Bit 0x04 of a short header: key phase (unused in the simulation).
+pub const KEY_PHASE_BIT: u8 = 0x04;
+
+/// Long header packet types (RFC 9000 Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LongType {
+    /// Initial packet (carries the first CRYPTO flight).
+    Initial,
+    /// 0-RTT packet (unused by the scanner but decodable).
+    ZeroRtt,
+    /// Handshake packet.
+    Handshake,
+    /// Retry packet.
+    Retry,
+}
+
+impl LongType {
+    fn bits(self) -> u8 {
+        match self {
+            LongType::Initial => 0b00,
+            LongType::ZeroRtt => 0b01,
+            LongType::Handshake => 0b10,
+            LongType::Retry => 0b11,
+        }
+    }
+
+    fn from_bits(bits: u8) -> Self {
+        match bits & 0b11 {
+            0b00 => LongType::Initial,
+            0b01 => LongType::ZeroRtt,
+            0b10 => LongType::Handshake,
+            _ => LongType::Retry,
+        }
+    }
+}
+
+/// A long header (Initial / 0-RTT / Handshake / Retry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LongHeader {
+    /// Packet type.
+    pub ty: LongType,
+    /// Negotiated (or attempted) QUIC version.
+    pub version: Version,
+    /// Destination connection ID.
+    pub dcid: ConnectionId,
+    /// Source connection ID.
+    pub scid: ConnectionId,
+    /// Full (untruncated) packet number. `None` for Retry.
+    pub packet_number: Option<PacketNumber>,
+}
+
+/// A short (1-RTT) header. This is where the spin bit lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortHeader {
+    /// The latency spin bit.
+    pub spin: bool,
+    /// The Valid Edge Counter (0..=3) in the reserved bits; 0 when the
+    /// endpoint does not participate in the VEC extension.
+    pub vec: u8,
+    /// Destination connection ID.
+    pub dcid: ConnectionId,
+    /// Full (untruncated) packet number.
+    pub packet_number: PacketNumber,
+}
+
+/// Either header form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Header {
+    /// Long header (handshake phase).
+    Long(LongHeader),
+    /// Short header (1-RTT phase; carries the spin bit).
+    Short(ShortHeader),
+}
+
+impl Header {
+    /// The destination connection ID of either form.
+    pub fn dcid(&self) -> &ConnectionId {
+        match self {
+            Header::Long(h) => &h.dcid,
+            Header::Short(h) => &h.dcid,
+        }
+    }
+
+    /// The spin bit if this is a short header.
+    pub fn spin(&self) -> Option<bool> {
+        match self {
+            Header::Long(_) => None,
+            Header::Short(h) => Some(h.spin),
+        }
+    }
+
+    /// The full packet number, if present.
+    pub fn packet_number(&self) -> Option<PacketNumber> {
+        match self {
+            Header::Long(h) => h.packet_number,
+            Header::Short(h) => Some(h.packet_number),
+        }
+    }
+
+    /// Whether this is a short (1-RTT) header.
+    pub fn is_short(&self) -> bool {
+        matches!(self, Header::Short(_))
+    }
+}
+
+/// The fields of a short-header packet that a *passive on-path observer*
+/// may legally see: the first byte (form/fixed/spin bits) and the
+/// destination connection ID. The packet number is encrypted on the real
+/// wire; observers in this crate set `ground_truth_pn` only when explicitly
+/// granted oracle access (as the paper does via qlog on its own client).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservableShortHeader {
+    /// The spin bit as visible on the wire.
+    pub spin: bool,
+    /// The VEC bits as visible on the wire (0 for non-participating
+    /// endpoints).
+    pub vec: u8,
+    /// Destination connection ID (routable by observers).
+    pub dcid: ConnectionId,
+}
+
+impl ShortHeader {
+    /// Projects this header onto the observer-legal view.
+    pub fn observable(&self) -> ObservableShortHeader {
+        ObservableShortHeader {
+            spin: self.spin,
+            vec: self.vec,
+            dcid: self.dcid,
+        }
+    }
+}
+
+/// Number of bytes used to encode packet numbers on the wire.
+///
+/// Real stacks choose 1-4 bytes based on the ACK state; the simulator
+/// always uses 4 to keep expansion unambiguous even across long reordering
+/// windows, which RFC 9000 Appendix A explicitly allows.
+pub const PN_WIRE_LEN: usize = 4;
+
+impl LongHeader {
+    /// Encodes the long header (including the truncated packet number).
+    pub fn encode(&self, w: &mut Writer) {
+        let mut first = FORM_BIT | FIXED_BIT | (self.ty.bits() << 4);
+        if self.packet_number.is_some() {
+            first |= (PN_WIRE_LEN as u8) - 1;
+        }
+        w.write_u8(first);
+        w.write_u32(self.version.code());
+        self.dcid.encode_with_len(w);
+        self.scid.encode_with_len(w);
+        if let Some(pn) = self.packet_number {
+            w.write_u32(pn.value() as u32);
+        }
+    }
+
+    fn decode_after_first_byte(first: u8, r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let ty = LongType::from_bits(first >> 4);
+        let version = Version::from_code(r.read_u32("long header version")?)?;
+        let dcid = ConnectionId::decode_with_len(r)?;
+        let scid = ConnectionId::decode_with_len(r)?;
+        let packet_number = if ty == LongType::Retry {
+            None
+        } else {
+            Some(PacketNumber::new(u64::from(r.read_u32("long header pn")?)))
+        };
+        Ok(LongHeader {
+            ty,
+            version,
+            dcid,
+            scid,
+            packet_number,
+        })
+    }
+}
+
+impl ShortHeader {
+    /// Encodes the short header. `cid_len` is implicit on the real wire;
+    /// decoding needs it supplied out-of-band (as real demultiplexers do).
+    pub fn encode(&self, w: &mut Writer) {
+        let mut first = FIXED_BIT | ((PN_WIRE_LEN as u8) - 1);
+        if self.spin {
+            first |= SPIN_BIT;
+        }
+        first |= (self.vec.min(3) << VEC_SHIFT) & VEC_MASK;
+        w.write_u8(first);
+        self.dcid.encode_raw(w);
+        w.write_u32(self.packet_number.value() as u32);
+    }
+
+    fn decode_after_first_byte(
+        first: u8,
+        r: &mut Reader<'_>,
+        cid_len: usize,
+    ) -> Result<Self, WireError> {
+        let spin = first & SPIN_BIT != 0;
+        let vec = (first & VEC_MASK) >> VEC_SHIFT;
+        let dcid = ConnectionId::decode_raw(r, cid_len)?;
+        let packet_number = PacketNumber::new(u64::from(r.read_u32("short header pn")?));
+        Ok(ShortHeader {
+            spin,
+            vec,
+            dcid,
+            packet_number,
+        })
+    }
+}
+
+impl Header {
+    /// Encodes either header form.
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            Header::Long(h) => h.encode(w),
+            Header::Short(h) => h.encode(w),
+        }
+    }
+
+    /// Decodes a header. Short headers need the expected CID length, which a
+    /// real load balancer / endpoint knows out-of-band.
+    pub fn decode(r: &mut Reader<'_>, cid_len: usize) -> Result<Self, WireError> {
+        let first = r.read_u8("header first byte")?;
+        if first & FIXED_BIT == 0 {
+            return Err(WireError::FixedBitUnset);
+        }
+        if first & FORM_BIT != 0 {
+            Ok(Header::Long(LongHeader::decode_after_first_byte(first, r)?))
+        } else {
+            Ok(Header::Short(ShortHeader::decode_after_first_byte(
+                first, r, cid_len,
+            )?))
+        }
+    }
+
+    /// Peeks only the observer-visible bits of a short-header datagram
+    /// without consuming anything else: returns `None` for long headers.
+    pub fn peek_observable(buf: &[u8], cid_len: usize) -> Option<ObservableShortHeader> {
+        let mut r = Reader::new(buf);
+        let first = r.read_u8("first").ok()?;
+        if first & FIXED_BIT == 0 || first & FORM_BIT != 0 {
+            return None;
+        }
+        let dcid = ConnectionId::decode_raw(&mut r, cid_len).ok()?;
+        Some(ObservableShortHeader {
+            spin: first & SPIN_BIT != 0,
+            vec: (first & VEC_MASK) >> VEC_SHIFT,
+            dcid,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(bytes: &[u8]) -> ConnectionId {
+        ConnectionId::new(bytes).unwrap()
+    }
+
+    #[test]
+    fn short_header_spin_bit_position() {
+        for spin in [false, true] {
+            let h = ShortHeader {
+                spin,
+                vec: 0,
+                dcid: cid(&[1, 2, 3, 4, 5, 6, 7, 8]),
+                packet_number: PacketNumber::new(7),
+            };
+            let mut w = Writer::new();
+            h.encode(&mut w);
+            let bytes = w.into_bytes();
+            // First byte: form=0, fixed=1, spin as set.
+            assert_eq!(bytes[0] & FORM_BIT, 0);
+            assert_eq!(bytes[0] & FIXED_BIT, FIXED_BIT);
+            assert_eq!(bytes[0] & SPIN_BIT != 0, spin);
+        }
+    }
+
+    #[test]
+    fn short_header_roundtrip() {
+        let h = ShortHeader {
+            spin: true,
+            vec: 2,
+            dcid: cid(&[9; 8]),
+            packet_number: PacketNumber::new(0xabcd),
+        };
+        let mut w = Writer::new();
+        h.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        match Header::decode(&mut r, 8).unwrap() {
+            Header::Short(back) => assert_eq!(back, h),
+            other => panic!("expected short header, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn long_header_roundtrip_all_types() {
+        for (ty, has_pn) in [
+            (LongType::Initial, true),
+            (LongType::ZeroRtt, true),
+            (LongType::Handshake, true),
+            (LongType::Retry, false),
+        ] {
+            let h = LongHeader {
+                ty,
+                version: Version::V1,
+                dcid: cid(&[1; 8]),
+                scid: cid(&[2; 8]),
+                packet_number: has_pn.then(|| PacketNumber::new(42)),
+            };
+            let mut w = Writer::new();
+            h.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            match Header::decode(&mut r, 8).unwrap() {
+                Header::Long(back) => assert_eq!(back, h, "type {ty:?}"),
+                other => panic!("expected long header, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn long_headers_have_no_spin() {
+        let h = Header::Long(LongHeader {
+            ty: LongType::Initial,
+            version: Version::V1,
+            dcid: ConnectionId::EMPTY,
+            scid: ConnectionId::EMPTY,
+            packet_number: Some(PacketNumber::new(0)),
+        });
+        assert_eq!(h.spin(), None);
+        assert!(!h.is_short());
+    }
+
+    #[test]
+    fn fixed_bit_enforced() {
+        let mut r = Reader::new(&[0x00, 0x00]);
+        assert_eq!(Header::decode(&mut r, 0), Err(WireError::FixedBitUnset));
+    }
+
+    #[test]
+    fn draft_version_roundtrip() {
+        let h = LongHeader {
+            ty: LongType::Handshake,
+            version: Version::Draft29,
+            dcid: cid(&[3; 4]),
+            scid: cid(&[4; 4]),
+            packet_number: Some(PacketNumber::new(1)),
+        };
+        let mut w = Writer::new();
+        h.encode(&mut w);
+        let mut r = Reader::new(w.as_slice());
+        match Header::decode(&mut r, 4).unwrap() {
+            Header::Long(back) => assert_eq!(back.version, Version::Draft29),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn peek_observable_sees_spin_and_dcid_only() {
+        let h = ShortHeader {
+            spin: true,
+            vec: 3,
+            dcid: cid(&[7; 8]),
+            packet_number: PacketNumber::new(123),
+        };
+        let mut w = Writer::new();
+        h.encode(&mut w);
+        let obs = Header::peek_observable(w.as_slice(), 8).unwrap();
+        assert!(obs.spin);
+        assert_eq!(obs.vec, 3);
+        assert_eq!(obs.dcid, cid(&[7; 8]));
+    }
+
+    #[test]
+    fn peek_observable_ignores_long_headers() {
+        let h = LongHeader {
+            ty: LongType::Initial,
+            version: Version::V1,
+            dcid: cid(&[1; 8]),
+            scid: cid(&[2; 8]),
+            packet_number: Some(PacketNumber::new(0)),
+        };
+        let mut w = Writer::new();
+        h.encode(&mut w);
+        assert!(Header::peek_observable(w.as_slice(), 8).is_none());
+        assert!(Header::peek_observable(&[], 8).is_none());
+    }
+
+    #[test]
+    fn observable_projection_matches_header() {
+        let h = ShortHeader {
+            spin: false,
+            vec: 1,
+            dcid: cid(&[5; 8]),
+            packet_number: PacketNumber::new(9),
+        };
+        let obs = h.observable();
+        assert!(!obs.spin);
+        assert_eq!(obs.vec, 1);
+        assert_eq!(obs.dcid, h.dcid);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_short_roundtrip(
+            spin in proptest::prelude::any::<bool>(),
+            pn in 0u64..u64::from(u32::MAX),
+            cid_bytes in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..=20),
+        ) {
+            let h = ShortHeader {
+                spin,
+                vec: (pn % 4) as u8,
+                dcid: ConnectionId::new(&cid_bytes).unwrap(),
+                packet_number: PacketNumber::new(pn),
+            };
+            let mut w = Writer::new();
+            h.encode(&mut w);
+            let mut r = Reader::new(w.as_slice());
+            let back = Header::decode(&mut r, cid_bytes.len()).unwrap();
+            proptest::prop_assert_eq!(back, Header::Short(h));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! QUIC variable-length integers (RFC 9000 §16).
+//!
+//! A varint occupies 1, 2, 4 or 8 bytes; the two most significant bits of
+//! the first byte encode the length (00 → 1, 01 → 2, 10 → 4, 11 → 8),
+//! leaving 6, 14, 30 or 62 usable bits.
+
+use crate::coding::{Reader, Writer};
+use crate::error::WireError;
+
+/// Largest value representable as a QUIC varint (2^62 - 1).
+pub const MAX: u64 = (1 << 62) - 1;
+
+/// A QUIC variable-length integer in the range `0..=2^62-1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VarInt(u64);
+
+impl VarInt {
+    /// Zero.
+    pub const ZERO: VarInt = VarInt(0);
+
+    /// Creates a varint, failing if `v` exceeds 2^62-1.
+    pub fn new(v: u64) -> Result<Self, WireError> {
+        if v > MAX {
+            Err(WireError::VarIntRange(v))
+        } else {
+            Ok(VarInt(v))
+        }
+    }
+
+    /// Creates a varint from a value statically known to fit (u32 always fits).
+    pub fn from_u32(v: u32) -> Self {
+        VarInt(u64::from(v))
+    }
+
+    /// Returns the contained value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Number of bytes the canonical (shortest) encoding occupies.
+    pub fn encoded_len(self) -> usize {
+        match self.0 {
+            0..=0x3f => 1,
+            0x40..=0x3fff => 2,
+            0x4000..=0x3fff_ffff => 4,
+            _ => 8,
+        }
+    }
+
+    /// Appends the canonical encoding to `w`.
+    pub fn encode(self, w: &mut Writer) {
+        match self.encoded_len() {
+            1 => w.write_u8(self.0 as u8),
+            2 => w.write_u16((self.0 as u16) | 0x4000),
+            4 => w.write_u32((self.0 as u32) | 0x8000_0000),
+            8 => {
+                let mut bytes = self.0.to_be_bytes();
+                bytes[0] |= 0xc0;
+                w.write_bytes(&bytes);
+            }
+            _ => unreachable!("encoded_len only returns 1/2/4/8"),
+        }
+    }
+
+    /// Decodes a varint from `r`.
+    pub fn decode(r: &mut Reader<'_>, context: &'static str) -> Result<Self, WireError> {
+        let first = r.read_u8(context)?;
+        let prefix = first >> 6;
+        let mut value = u64::from(first & 0x3f);
+        let extra = match prefix {
+            0 => 0,
+            1 => 1,
+            2 => 3,
+            3 => 7,
+            _ => unreachable!(),
+        };
+        for _ in 0..extra {
+            value = (value << 8) | u64::from(r.read_u8(context)?);
+        }
+        Ok(VarInt(value))
+    }
+}
+
+impl From<VarInt> for u64 {
+    fn from(v: VarInt) -> u64 {
+        v.0
+    }
+}
+
+impl TryFrom<u64> for VarInt {
+    type Error = WireError;
+    fn try_from(v: u64) -> Result<Self, WireError> {
+        VarInt::new(v)
+    }
+}
+
+impl From<u32> for VarInt {
+    fn from(v: u32) -> Self {
+        VarInt::from_u32(v)
+    }
+}
+
+impl core::fmt::Display for VarInt {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Convenience: encode `v` (must fit) directly into `w`.
+pub fn write(w: &mut Writer, v: u64) {
+    VarInt::new(v)
+        .expect("value must fit in a varint")
+        .encode(w);
+}
+
+/// Convenience: decode a varint and return its raw value.
+pub fn read(r: &mut Reader<'_>, context: &'static str) -> Result<u64, WireError> {
+    Ok(VarInt::decode(r, context)?.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) -> (usize, u64) {
+        let vi = VarInt::new(v).unwrap();
+        let mut w = Writer::new();
+        vi.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), vi.encoded_len());
+        let mut r = Reader::new(&bytes);
+        let out = VarInt::decode(&mut r, "t").unwrap();
+        assert!(r.is_empty());
+        (bytes.len(), out.value())
+    }
+
+    #[test]
+    fn rfc9000_appendix_a_examples() {
+        // Examples from RFC 9000 §A.1.
+        let cases: &[(&[u8], u64)] = &[
+            (&[0xc2, 0x19, 0x7c, 0x5e, 0xff, 0x14, 0xe8, 0x8c], 151_288_809_941_952_652),
+            (&[0x9d, 0x7f, 0x3e, 0x7d], 494_878_333),
+            (&[0x7b, 0xbd], 15_293),
+            (&[0x25], 37),
+            (&[0x40, 0x25], 37), // non-canonical two-byte encoding of 37
+        ];
+        for (bytes, expected) in cases {
+            let mut r = Reader::new(bytes);
+            assert_eq!(VarInt::decode(&mut r, "t").unwrap().value(), *expected);
+        }
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        assert_eq!(roundtrip(0), (1, 0));
+        assert_eq!(roundtrip(63), (1, 63));
+        assert_eq!(roundtrip(64), (2, 64));
+        assert_eq!(roundtrip(16_383), (2, 16_383));
+        assert_eq!(roundtrip(16_384), (4, 16_384));
+        assert_eq!(roundtrip(1_073_741_823), (4, 1_073_741_823));
+        assert_eq!(roundtrip(1_073_741_824), (8, 1_073_741_824));
+        assert_eq!(roundtrip(MAX), (8, MAX));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert_eq!(VarInt::new(MAX + 1), Err(WireError::VarIntRange(MAX + 1)));
+        assert!(VarInt::try_from(u64::MAX).is_err());
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        // 4-byte prefix but only 2 bytes present.
+        let mut r = Reader::new(&[0x80, 0x01]);
+        assert!(matches!(
+            VarInt::decode(&mut r, "t"),
+            Err(WireError::UnexpectedEnd { .. })
+        ));
+    }
+
+    #[test]
+    fn u32_always_fits() {
+        let v = VarInt::from(u32::MAX);
+        assert_eq!(v.value(), u64::from(u32::MAX));
+        assert_eq!(v.encoded_len(), 8);
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(VarInt::new(1234).unwrap().to_string(), "1234");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_roundtrip(v in 0u64..=MAX) {
+            let (_, out) = roundtrip(v);
+            proptest::prop_assert_eq!(out, v);
+        }
+
+        #[test]
+        fn prop_encoding_is_canonical_shortest(v in 0u64..=MAX) {
+            let vi = VarInt::new(v).unwrap();
+            let len = vi.encoded_len();
+            // A value must not fit in the next-shorter class.
+            let max_for = |l: usize| -> u64 {
+                match l { 1 => 0x3f, 2 => 0x3fff, 4 => 0x3fff_ffff, _ => MAX }
+            };
+            if len > 1 {
+                let shorter = match len { 2 => 1, 4 => 2, 8 => 4, _ => unreachable!() };
+                proptest::prop_assert!(v > max_for(shorter));
+            }
+            proptest::prop_assert!(v <= max_for(len));
+        }
+
+        #[test]
+        fn prop_ordering_matches_values(a in 0u64..=MAX, b in 0u64..=MAX) {
+            let (va, vb) = (VarInt::new(a).unwrap(), VarInt::new(b).unwrap());
+            proptest::prop_assert_eq!(va.cmp(&vb), a.cmp(&b));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! QUIC version codes.
+//!
+//! The paper's adapted quic-go speaks QUIC v1 (RFC 9000) plus IETF draft
+//! versions 27, 29, 32 and 34, so the simulated endpoints support the same
+//! set. The spin bit is a *version-dependent* feature: it is defined for v1
+//! and the late drafts used here.
+
+use crate::error::WireError;
+
+/// A QUIC protocol version supported by this stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Version {
+    /// QUIC version 1 (RFC 9000), code `0x00000001`.
+    V1,
+    /// draft-ietf-quic-transport-27, code `0xff00001b`.
+    Draft27,
+    /// draft-ietf-quic-transport-29, code `0xff00001d`.
+    Draft29,
+    /// draft-ietf-quic-transport-32, code `0xff000020`.
+    Draft32,
+    /// draft-ietf-quic-transport-34, code `0xff000022`.
+    Draft34,
+}
+
+/// All versions this stack can negotiate, in preference order (newest first).
+pub const SUPPORTED: &[Version] = &[
+    Version::V1,
+    Version::Draft34,
+    Version::Draft32,
+    Version::Draft29,
+    Version::Draft27,
+];
+
+impl Version {
+    /// Wire code of this version.
+    pub fn code(self) -> u32 {
+        match self {
+            Version::V1 => 0x0000_0001,
+            Version::Draft27 => 0xff00_001b,
+            Version::Draft29 => 0xff00_001d,
+            Version::Draft32 => 0xff00_0020,
+            Version::Draft34 => 0xff00_0022,
+        }
+    }
+
+    /// Parses a wire code into a supported version.
+    pub fn from_code(code: u32) -> Result<Self, WireError> {
+        match code {
+            0x0000_0001 => Ok(Version::V1),
+            0xff00_001b => Ok(Version::Draft27),
+            0xff00_001d => Ok(Version::Draft29),
+            0xff00_0020 => Ok(Version::Draft32),
+            0xff00_0022 => Ok(Version::Draft34),
+            other => Err(WireError::UnknownVersion(other)),
+        }
+    }
+
+    /// Whether the spin bit is defined for this version.
+    ///
+    /// The latest-spec spin bit (reserved bit 0x20 of the short header) is
+    /// present in all versions this stack supports.
+    pub fn supports_spin_bit(self) -> bool {
+        true
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Version::V1 => "v1",
+            Version::Draft27 => "draft-27",
+            Version::Draft29 => "draft-29",
+            Version::Draft32 => "draft-32",
+            Version::Draft34 => "draft-34",
+        }
+    }
+}
+
+impl core::fmt::Display for Version {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for &v in SUPPORTED {
+            assert_eq!(Version::from_code(v.code()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn v1_code_is_one() {
+        assert_eq!(Version::V1.code(), 1);
+    }
+
+    #[test]
+    fn draft_codes_match_ietf_numbering() {
+        // Draft version N is encoded as 0xff000000 + N.
+        assert_eq!(Version::Draft27.code(), 0xff00_0000 + 27);
+        assert_eq!(Version::Draft29.code(), 0xff00_0000 + 29);
+        assert_eq!(Version::Draft32.code(), 0xff00_0000 + 32);
+        assert_eq!(Version::Draft34.code(), 0xff00_0000 + 34);
+    }
+
+    #[test]
+    fn unknown_code_rejected() {
+        assert_eq!(
+            Version::from_code(0xff00_0001),
+            Err(WireError::UnknownVersion(0xff00_0001))
+        );
+        assert!(Version::from_code(0).is_err());
+    }
+
+    #[test]
+    fn all_supported_versions_spin() {
+        for &v in SUPPORTED {
+            assert!(v.supports_spin_bit(), "{v} must support the spin bit");
+        }
+    }
+
+    #[test]
+    fn preference_order_puts_v1_first() {
+        assert_eq!(SUPPORTED[0], Version::V1);
+        assert_eq!(SUPPORTED.len(), 5);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Version::V1.to_string(), "v1");
+        assert_eq!(Version::Draft29.to_string(), "draft-29");
+    }
+}

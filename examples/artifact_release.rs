@@ -1,0 +1,56 @@
+//! Appendix B: build the released artifacts — per-connection qlog traces
+//! with the spin-bit extension, stripped to limit file size, in both JSON
+//! and the compact binary format.
+//!
+//! Run with: `cargo run --release --example artifact_release`
+
+use quicspin::scanner::{
+    export_binary_stripped, export_qlogs, strip_for_release, CampaignConfig, Scanner,
+};
+use quicspin::webpop::{Population, PopulationConfig};
+
+fn main() {
+    let population = Population::generate(PopulationConfig {
+        seed: 0x5eed_2023,
+        toplist_domains: 200,
+        zone_domains: 3_000,
+    });
+    eprintln!("scanning {} domains with qlog capture ...", population.len());
+    let campaign = Scanner::new(&population).run_campaign(&CampaignConfig {
+        keep_qlogs: true,
+        ..CampaignConfig::default()
+    });
+
+    let qlogs = export_qlogs(&campaign);
+    let full_json = qlogs.to_json().expect("serializable");
+
+    let stripped_json = quicspin::qlog::QlogFile::new(
+        qlogs.traces.iter().map(strip_for_release).collect(),
+    )
+    .to_json()
+    .expect("serializable");
+
+    let binary = export_binary_stripped(&campaign);
+    let binary_bytes: usize = binary.iter().map(Vec::len).sum();
+
+    println!("connections with retained qlogs : {}", qlogs.traces.len());
+    println!("full JSON release               : {:>9} bytes", full_json.len());
+    println!("stripped JSON release           : {:>9} bytes", stripped_json.len());
+    println!("stripped compact binary release : {:>9} bytes", binary_bytes);
+    println!(
+        "compression vs full JSON        : {:.1}x",
+        full_json.len() as f64 / binary_bytes.max(1) as f64
+    );
+
+    // Show one stripped trace to make the released schema concrete.
+    if let Some(trace) = qlogs.traces.first() {
+        let stripped = strip_for_release(trace);
+        println!("\nexample stripped trace for {}:", stripped.title);
+        for event in stripped.events.iter().take(8) {
+            println!("  {:?}", event);
+        }
+        if stripped.len() > 8 {
+            println!("  ... {} more events", stripped.len() - 8);
+        }
+    }
+}

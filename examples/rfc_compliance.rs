@@ -1,0 +1,48 @@
+//! §4.3 / Figure 2: do deployments follow the RFC 9000 "MUST disable on
+//! one in 16 connections" rule?
+//!
+//! Runs the longitudinal study (n = 12 selected weeks), builds the
+//! observed weeks-with-spin histogram and compares it against the
+//! binomial RFC 9000 (p = 15/16) and RFC 9312 (p = 7/8) theory.
+//!
+//! Usage: `cargo run --release --example rfc_compliance [zone_domains]`
+
+use quicspin::analysis::{render, LongitudinalFigure};
+use quicspin::scanner::{run_longitudinal, CampaignConfig, LongitudinalConfig};
+use quicspin::webpop::{Population, PopulationConfig};
+
+fn main() {
+    let zone_domains: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+
+    eprintln!("generating population ({zone_domains} zone domains) ...");
+    let population = Population::generate(PopulationConfig {
+        seed: 0x5eed_2023,
+        toplist_domains: 0,
+        zone_domains,
+    });
+
+    eprintln!("running 12 weekly campaigns ...");
+    let config = LongitudinalConfig::paper_weeks(CampaignConfig::default());
+    let result = run_longitudinal(&population, &config);
+
+    let figure = LongitudinalFigure::from_result(&result);
+    println!("{}", render::render_fig2(&figure));
+
+    println!(
+        "observed all-weeks share: {:.1}% (RFC 9000 theory: {:.1}%, RFC 9312: {:.1}%)",
+        figure.observed_all_weeks() * 100.0,
+        figure.rfc9000.last().unwrap() * 100.0,
+        figure.rfc9312.last().unwrap() * 100.0
+    );
+    println!(
+        "domains spin LESS than RFC 9000 theory allows: {}",
+        figure.spins_less_than(&figure.rfc9000)
+    );
+    println!(
+        "domains spin LESS than RFC 9312 theory allows: {}",
+        figure.spins_less_than(&figure.rfc9312)
+    );
+}

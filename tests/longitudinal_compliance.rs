@@ -1,0 +1,81 @@
+//! Integration: the §4.3 / Fig. 2 longitudinal pipeline — weekly sweeps,
+//! the always-reachable filter, the observed histogram, and the binomial
+//! RFC theory it is compared against.
+
+use quicspin::analysis::fig2::{binomial_pmf, rfc_theory};
+use quicspin::analysis::LongitudinalFigure;
+use quicspin::scanner::{run_longitudinal, CampaignConfig, LongitudinalConfig};
+use quicspin::webpop::{Population, PopulationConfig};
+
+fn result(weeks: Vec<u32>) -> quicspin::scanner::LongitudinalResult {
+    let population = Population::generate(PopulationConfig {
+        seed: 0x5eed_2023,
+        toplist_domains: 0,
+        zone_domains: 6_000,
+    });
+    run_longitudinal(
+        &population,
+        &LongitudinalConfig {
+            weeks,
+            base: CampaignConfig::default(),
+        },
+    )
+}
+
+#[test]
+fn longitudinal_study_produces_fig2_invariants() {
+    let result = result(vec![0, 5, 10, 15, 20, 25]);
+    let figure = LongitudinalFigure::from_result(&result);
+    assert_eq!(figure.n_weeks, 6);
+    assert!(figure.ever_spun > 0, "some domains spin");
+    assert!(figure.always_reachable > 0, "some domains always reachable");
+    assert!(figure.always_reachable <= figure.ever_spun);
+    // Histogram over always-reachable domains is a distribution.
+    let total: f64 = figure.observed.iter().sum();
+    assert!((total - 1.0).abs() < 1e-9, "sums to 1: {total}");
+    // The paper's compliance finding: deployments spin less than the
+    // 1-in-16 rule alone would allow.
+    assert!(
+        figure.spins_less_than(&figure.rfc9000),
+        "observed all-weeks {:.3} vs theory {:.3}",
+        figure.observed_all_weeks(),
+        figure.rfc9000.last().unwrap()
+    );
+}
+
+#[test]
+fn always_reachable_share_matches_outage_model() {
+    // P(reachable all n weeks) ≈ 0.95^n for ever-spinning QUIC domains.
+    let result = result(vec![0, 7, 14, 21]);
+    let share = result.always_reachable().count() as f64 / result.ever_spun.len().max(1) as f64;
+    let expected = 0.95f64.powi(4) / (1.0 - (1.0 - 0.95f64.powi(4)) * 0.0);
+    // Wide tolerance: spin-week selection correlates slightly with
+    // reachability (a domain must be reachable to spin at all).
+    assert!(
+        (share - expected).abs() < 0.25,
+        "always-reachable share {share:.2} vs ≈{expected:.2}"
+    );
+}
+
+#[test]
+fn rfc_theory_matches_closed_form_for_small_n() {
+    // n = 2, p = 3/4: P(k=1) = 2·(3/4)(1/4) = 6/16, P(k=2) = 9/16,
+    // conditioned on k ≥ 1 (denominator 15/16) → 6/15, 9/15.
+    let theory = rfc_theory(2, 0.75);
+    assert!((theory[0] - 6.0 / 15.0).abs() < 1e-12);
+    assert!((theory[1] - 9.0 / 15.0).abs() < 1e-12);
+    // And the pmf itself.
+    assert!((binomial_pmf(2, 0, 0.75) - 1.0 / 16.0).abs() < 1e-12);
+}
+
+#[test]
+fn weekly_behaviour_varies_but_is_reproducible() {
+    let a = result(vec![0, 9]);
+    let b = result(vec![0, 9]);
+    assert_eq!(a.ever_spun.len(), b.ever_spun.len());
+    for (x, y) in a.ever_spun.iter().zip(&b.ever_spun) {
+        assert_eq!(x.domain_id, y.domain_id);
+        assert_eq!(x.spin_weeks, y.spin_weeks);
+        assert_eq!(x.reachable_weeks, y.reachable_weeks);
+    }
+}

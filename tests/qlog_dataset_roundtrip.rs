@@ -1,0 +1,70 @@
+//! Integration: the measurement data products (qlog traces, connection
+//! records, analysis artefacts) serialize and round-trip, mirroring the
+//! paper's released dataset (Appendix B).
+
+use quicspin::core::PacketObservation;
+use quicspin::prelude::*;
+use quicspin::qlog::QlogFile;
+use quicspin::scanner::CampaignConfig;
+
+#[test]
+fn lab_qlog_serializes_and_preserves_spin_observations() {
+    let out = ConnectionLab::new(LabConfig::default()).run();
+    let file = QlogFile::new(vec![out.client_qlog.clone(), out.server_qlog.clone()]);
+    let json = file.to_json().unwrap();
+    let back = QlogFile::from_json(&json).unwrap();
+    assert_eq!(back.traces.len(), 2);
+    assert_eq!(
+        back.traces[0].spin_observations(),
+        out.client_qlog.spin_observations(),
+        "the §3.3 extraction survives serialization"
+    );
+    assert_eq!(back.traces[0].vantage_point, "client");
+    assert_eq!(back.traces[1].vantage_point, "server");
+}
+
+#[test]
+fn connection_records_roundtrip_as_json() {
+    let population = Population::generate(quicspin::webpop::PopulationConfig::tiny(5));
+    let campaign = Scanner::new(&population).run_campaign(&CampaignConfig::default());
+    let established: Vec<&ConnectionRecord> = campaign.established().collect();
+    assert!(!established.is_empty());
+    for record in established.iter().take(20) {
+        let json = serde_json::to_string(record).unwrap();
+        let back: ConnectionRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.domain_id, record.domain_id);
+        assert_eq!(back.report, record.report);
+        assert_eq!(back.outcome, record.outcome);
+    }
+}
+
+#[test]
+fn observer_report_rebuilds_identically_from_serialized_observations() {
+    let out = ConnectionLab::new(LabConfig::default()).run();
+    let observations = out.client_observations();
+    let json = serde_json::to_string(&observations).unwrap();
+    let back: Vec<PacketObservation> = serde_json::from_str(&json).unwrap();
+    let report_a = ObserverReport::build(
+        &observations,
+        out.client_stack_samples_us.clone(),
+        Default::default(),
+        GreaseFilter::paper(),
+    );
+    let report_b = ObserverReport::build(
+        &back,
+        out.client_stack_samples_us.clone(),
+        Default::default(),
+        GreaseFilter::paper(),
+    );
+    assert_eq!(report_a, report_b);
+}
+
+#[test]
+fn analysis_tables_serialize() {
+    let population = Population::generate(quicspin::webpop::PopulationConfig::tiny(6));
+    let campaign = Scanner::new(&population).run_campaign(&CampaignConfig::default());
+    let table = OverviewTable::from_campaign(&campaign);
+    let json = serde_json::to_string(&table).unwrap();
+    let back: OverviewTable = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, table);
+}
