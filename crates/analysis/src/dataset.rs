@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Domain-level spin behaviour (Table 3 taxonomy at domain granularity).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum DomainClass {
     /// No QUIC connection established.
     NoQuic,
@@ -97,8 +97,8 @@ impl CampaignSummary {
             let host = records.iter().find_map(|r| r.host);
             if quic {
                 if let Some(host) = host {
-                    let spin_here =
-                        matches!(class, DomainClass::Spin) || records.iter().any(|r| r.has_spin_activity());
+                    let spin_here = matches!(class, DomainClass::Spin)
+                        || records.iter().any(|r| r.has_spin_activity());
                     let entry = hosts.entry(host).or_insert(false);
                     *entry |= spin_here;
                 }

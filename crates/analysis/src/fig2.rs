@@ -30,9 +30,7 @@ pub fn binomial_pmf(n: u32, k: u32, p: f64) -> f64 {
     if k > n {
         return 0.0;
     }
-    binomial_coeff(u64::from(n), u64::from(k))
-        * p.powi(k as i32)
-        * (1.0 - p).powi((n - k) as i32)
+    binomial_coeff(u64::from(n), u64::from(k)) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
 }
 
 /// Binomial distribution over k = 1..=n, conditioned on k ≥ 1.

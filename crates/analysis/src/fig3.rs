@@ -92,9 +92,7 @@ fn diffs_for<'a>(
 
 impl AbsoluteAccuracyFigure {
     /// Computes Fig. 3 from established connection records.
-    pub fn from_records<'a>(
-        records: impl Iterator<Item = &'a ConnectionRecord> + Clone,
-    ) -> Self {
+    pub fn from_records<'a>(records: impl Iterator<Item = &'a ConnectionRecord> + Clone) -> Self {
         let (spin_r, spin_s) = diffs_for(records.clone(), FlowClassification::Spinning);
         let (grease_r, grease_s) = diffs_for(records, FlowClassification::Greased);
         AbsoluteAccuracyFigure {
@@ -134,7 +132,7 @@ mod tests {
 
     #[test]
     fn spin_series_counts_diffs() {
-        let records = vec![
+        let records = [
             record(FlowClassification::Spinning, 50_000, 40_000), // +10 ms
             record(FlowClassification::Spinning, 300_000, 40_000), // +260 ms
             record(FlowClassification::Spinning, 30_000, 40_000), // -10 ms
@@ -151,7 +149,7 @@ mod tests {
 
     #[test]
     fn all_zero_records_do_not_contribute() {
-        let records = vec![record(FlowClassification::AllZero, 0, 40_000)];
+        let records = [record(FlowClassification::AllZero, 0, 40_000)];
         let fig = AbsoluteAccuracyFigure::from_records(records.iter());
         assert_eq!(fig.spin_received.connections, 0);
         assert_eq!(fig.grease_received.connections, 0);

@@ -115,9 +115,7 @@ fn ratios_for<'a>(
 
 impl RatioAccuracyFigure {
     /// Computes Fig. 4 from established connection records.
-    pub fn from_records<'a>(
-        records: impl Iterator<Item = &'a ConnectionRecord> + Clone,
-    ) -> Self {
+    pub fn from_records<'a>(records: impl Iterator<Item = &'a ConnectionRecord> + Clone) -> Self {
         let (spin_r, spin_s) = ratios_for(records.clone(), FlowClassification::Spinning);
         let (grease_r, grease_s) = ratios_for(records, FlowClassification::Greased);
         RatioAccuracyFigure {
@@ -157,7 +155,7 @@ mod tests {
 
     #[test]
     fn shares_computed_from_ratios() {
-        let records = vec![
+        let records = [
             record(FlowClassification::Spinning, 44_000, 40_000), // 1.1 (within 25%)
             record(FlowClassification::Spinning, 70_000, 40_000), // 1.75 (within 2x)
             record(FlowClassification::Spinning, 200_000, 40_000), // 5.0 (>3x)
@@ -177,7 +175,7 @@ mod tests {
     fn ratio_magnitudes_never_fall_in_open_unit_gap() {
         // Mapped ratios have |r| >= 1, so the (0, 1.25] bin only collects
         // [1, 1.25] and the (-1.25, 0) bin only (-1.25, -1].
-        let records = vec![
+        let records = [
             record(FlowClassification::Spinning, 40_000, 40_000), // exactly 1.0
         ];
         let fig = RatioAccuracyFigure::from_records(records.iter());
@@ -186,7 +184,7 @@ mod tests {
 
     #[test]
     fn grease_series_separate() {
-        let records = vec![
+        let records = [
             record(FlowClassification::Greased, 10_000, 40_000),
             record(FlowClassification::Spinning, 45_000, 40_000),
         ];

@@ -26,6 +26,7 @@ pub mod render;
 pub mod reordering;
 pub mod spin_config;
 pub mod stats;
+pub mod streaming;
 pub mod webserver;
 
 pub use dataset::{CampaignSummary, DomainClass};
@@ -36,8 +37,9 @@ pub use histogram::Histogram;
 pub use orgs::OrgTable;
 pub use overview::OverviewTable;
 pub use reordering::ReorderingImpact;
-pub use stats::Summary;
 pub use spin_config::SpinConfigTable;
+pub use stats::Summary;
+pub use streaming::{aggregate_campaign, CampaignAggregates};
 pub use webserver::WebServerShares;
 
 /// Bundled accuracy figures (Figs. 3 + 4 + §5.2) from one dataset.

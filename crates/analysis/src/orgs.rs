@@ -48,10 +48,7 @@ impl OrgTable {
     }
 
     /// Computes the table over an arbitrary list selection.
-    pub fn from_campaign_filtered(
-        campaign: &Campaign,
-        filter: impl Fn(ListKind) -> bool,
-    ) -> Self {
+    pub fn from_campaign_filtered(campaign: &Campaign, filter: impl Fn(ListKind) -> bool) -> Self {
         let mut totals = [0u64; 9];
         let mut spins = [0u64; 9];
         for r in &campaign.records {
@@ -74,7 +71,7 @@ impl OrgTable {
                 spin_rank: None,
             })
             .collect();
-        rows.sort_by(|a, b| b.total_connections.cmp(&a.total_connections));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.total_connections));
         // The `<other>` aggregate is a remainder row and stays unranked,
         // exactly as in the paper's Table 2.
         let mut rank = 0;
@@ -89,7 +86,7 @@ impl OrgTable {
             .filter(|r| r.org != Org::Other)
             .map(|r| (r.org, r.spin_connections))
             .collect();
-        by_spin.sort_by(|a, b| b.1.cmp(&a.1));
+        by_spin.sort_by_key(|&(_, spin)| std::cmp::Reverse(spin));
         for (i, (org, spin)) in by_spin.iter().enumerate() {
             if *spin > 0 {
                 if let Some(row) = rows.iter_mut().find(|r| r.org == *org) {
@@ -102,7 +99,10 @@ impl OrgTable {
 
     /// The row of one organization.
     pub fn row(&self, org: Org) -> &OrgRow {
-        self.rows.iter().find(|r| r.org == org).expect("all orgs present")
+        self.rows
+            .iter()
+            .find(|r| r.org == org)
+            .expect("all orgs present")
     }
 
     /// Total established connections across organizations.

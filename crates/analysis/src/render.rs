@@ -14,7 +14,7 @@ fn fmt_count(v: u64) -> String {
     let s = v.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -135,7 +135,8 @@ pub fn render_fig2(fig: &LongitudinalFigure) -> String {
 
 /// Renders Fig. 3.
 pub fn render_fig3(fig: &AbsoluteAccuracyFigure) -> String {
-    let mut out = String::from("Figure 3: abs. difference spin - QUIC of per-connection means (ms)\n");
+    let mut out =
+        String::from("Figure 3: abs. difference spin - QUIC of per-connection means (ms)\n");
     for (name, series) in [
         ("Spin (R)", &fig.spin_received),
         ("Spin (S)", &fig.spin_sorted),

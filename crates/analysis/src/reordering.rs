@@ -39,10 +39,9 @@ impl ReorderingImpact {
                 continue;
             }
             out.differing += 1;
-            let (Some(mean_r), Some(mean_s)) = (
-                report.spin_rtt_mean_ms(),
-                report.spin_rtt_mean_sorted_ms(),
-            ) else {
+            let (Some(mean_r), Some(mean_s)) =
+                (report.spin_rtt_mean_ms(), report.spin_rtt_mean_sorted_ms())
+            else {
                 continue;
             };
             if (mean_r - mean_s).abs() < 1.0 {
@@ -114,7 +113,7 @@ mod tests {
 
     #[test]
     fn identical_orders_do_not_differ() {
-        let records = vec![record(vec![40_000], vec![40_000])];
+        let records = [record(vec![40_000], vec![40_000])];
         let impact = ReorderingImpact::from_records(records.iter());
         assert_eq!(impact.connections, 1);
         assert_eq!(impact.differing, 0);
@@ -126,7 +125,7 @@ mod tests {
     fn differing_orders_counted_and_improvement_detected() {
         // R has a reordering artefact (1 ms bogus sample) → mean 20.5 ms;
         // S is the clean 41 ms, much closer to the 40 ms stack mean.
-        let records = vec![
+        let records = [
             record(vec![1_000, 40_000], vec![41_000]),
             record(vec![40_000], vec![40_000]),
         ];
@@ -143,7 +142,7 @@ mod tests {
     #[test]
     fn small_delta_detected() {
         // Means differ by 0.5 ms.
-        let records = vec![record(vec![40_000, 41_000], vec![40_000, 42_000])];
+        let records = [record(vec![40_000, 41_000], vec![40_000, 42_000])];
         let impact = ReorderingImpact::from_records(records.iter());
         assert_eq!(impact.differing, 1);
         assert_eq!(impact.small_delta, 1);

@@ -3,9 +3,7 @@
 //! and the VEC — each evaluated on the same simulated flows.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use quicspin_core::{
-    GreaseFilter, ObserverConfig, ObserverReport, RttFilter, SpinObserver,
-};
+use quicspin_core::{GreaseFilter, ObserverConfig, ObserverReport, RttFilter, SpinObserver};
 use quicspin_netsim::Side;
 use quicspin_quic::{ConnectionLab, LabConfig, TransportConfig};
 
@@ -20,8 +18,16 @@ fn traces(reorder: f64, vec_enabled: bool, n: usize) -> Vec<Vec<quicspin_core::P
                 reorder,
                 jitter_ms: 1.0,
                 seed: 1000 + i as u64,
-                client: if vec_enabled { base.clone().with_vec() } else { base.clone() },
-                server: if vec_enabled { base.clone().with_vec() } else { base },
+                client: if vec_enabled {
+                    base.clone().with_vec()
+                } else {
+                    base.clone()
+                },
+                server: if vec_enabled {
+                    base.clone().with_vec()
+                } else {
+                    base
+                },
                 // A tight bottleneck makes the transfer rate-bound: the
                 // stream is continuous, spin flips happen mid-stream, and
                 // held-back packets cross edges — producing the bogus
@@ -35,7 +41,10 @@ fn traces(reorder: f64, vec_enabled: bool, n: usize) -> Vec<Vec<quicspin_core::P
         .collect()
 }
 
-fn accuracy_of(observations: &[Vec<quicspin_core::PacketObservation>], config: ObserverConfig) -> f64 {
+fn accuracy_of(
+    observations: &[Vec<quicspin_core::PacketObservation>],
+    config: ObserverConfig,
+) -> f64 {
     // Mean absolute error of per-flow mean RTT vs the true 40 ms.
     let mut err = 0.0;
     let mut n = 0;
@@ -58,29 +67,44 @@ fn accuracy_of(observations: &[Vec<quicspin_core::PacketObservation>], config: O
 
 fn ablation_heuristics(c: &mut Criterion) {
     let observations = traces(0.25, false, 40);
-    println!("\nAblation: RFC 9312 heuristics on a 25%-reordering bottleneck path (true RTT 40 ms)");
+    println!(
+        "\nAblation: RFC 9312 heuristics on a 25%-reordering bottleneck path (true RTT 40 ms)"
+    );
     for (name, config) in [
         ("none", ObserverConfig::default()),
         (
             "static_floor_5ms",
-            ObserverConfig { filter: RttFilter::StaticFloor { min_us: 5_000 }, ..Default::default() },
+            ObserverConfig {
+                filter: RttFilter::StaticFloor { min_us: 5_000 },
+                ..Default::default()
+            },
         ),
         (
             "dynamic_range",
             ObserverConfig {
-                filter: RttFilter::DynamicRange { lower: 0.3, upper: 3.0 },
+                filter: RttFilter::DynamicRange {
+                    lower: 0.3,
+                    upper: 3.0,
+                },
                 ..Default::default()
             },
         ),
     ] {
-        println!("  {:<18} mean abs error {:6.2} ms", name, accuracy_of(&observations, config));
+        println!(
+            "  {:<18} mean abs error {:6.2} ms",
+            name,
+            accuracy_of(&observations, config)
+        );
     }
     c.bench_function("ablation/heuristics_dynamic_range", |b| {
         b.iter(|| {
             accuracy_of(
                 std::hint::black_box(&observations),
                 ObserverConfig {
-                    filter: RttFilter::DynamicRange { lower: 0.3, upper: 3.0 },
+                    filter: RttFilter::DynamicRange {
+                        lower: 0.3,
+                        upper: 3.0,
+                    },
                     ..Default::default()
                 },
             )
@@ -95,16 +119,26 @@ fn ablation_vec(c: &mut Criterion) {
         ("plain_spin", ObserverConfig::default()),
         (
             "vec_validated",
-            ObserverConfig { require_valid_edge: true, ..Default::default() },
+            ObserverConfig {
+                require_valid_edge: true,
+                ..Default::default()
+            },
         ),
     ] {
-        println!("  {:<18} mean abs error {:6.2} ms", name, accuracy_of(&observations, config));
+        println!(
+            "  {:<18} mean abs error {:6.2} ms",
+            name,
+            accuracy_of(&observations, config)
+        );
     }
     c.bench_function("ablation/vec_validated", |b| {
         b.iter(|| {
             accuracy_of(
                 std::hint::black_box(&observations),
-                ObserverConfig { require_valid_edge: true, ..Default::default() },
+                ObserverConfig {
+                    require_valid_edge: true,
+                    ..Default::default()
+                },
             )
         })
     });
@@ -133,12 +167,8 @@ fn ablation_grease_threshold(c: &mut Criterion) {
             traces
                 .iter()
                 .filter(|t| {
-                    let report = ObserverReport::build(
-                        t,
-                        vec![40_000],
-                        ObserverConfig::default(),
-                        filter,
-                    );
+                    let report =
+                        ObserverReport::build(t, vec![40_000], ObserverConfig::default(), filter);
                     report.classification == quicspin_core::FlowClassification::Greased
                 })
                 .count()

@@ -1,0 +1,67 @@
+//! Campaign engine throughput: domains/sec for a clean-path sweep at
+//! 1/4/8 worker threads, plus the single-thread probe loop (the unit of
+//! work the scheduler distributes). Guards the work-stealing scheduler
+//! and scratch-reuse optimizations against regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use quicspin_bench::bench_population;
+use quicspin_scanner::{CampaignConfig, NetworkConditions, ProbeScratch, ScanOutcome, Scanner};
+
+fn clean_config(threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        threads,
+        conditions: NetworkConditions::clean(),
+        ..CampaignConfig::default()
+    }
+}
+
+fn sweep_threads(c: &mut Criterion) {
+    let pop = bench_population(9_000, 1_000);
+    let scanner = Scanner::new(&pop);
+    let mut group = c.benchmark_group("campaign");
+    group.throughput(Throughput::Elements(pop.len() as u64));
+    group.sample_size(10);
+    for threads in [1usize, 4, 8] {
+        let cfg = clean_config(threads);
+        group.bench_function(&format!("sweep_10k_domains/{threads}_threads"), |b| {
+            b.iter(|| scanner.run_campaign(std::hint::black_box(&cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn probe_loop(c: &mut Criterion) {
+    let pop = bench_population(2_000, 0);
+    let scanner = Scanner::new(&pop);
+    let cfg = clean_config(1);
+    // Pick a domain whose probe takes the full QUIC-handshake path, so the
+    // loop times the expensive steady-state (simulator + qlog + report).
+    let id = (0..pop.len() as u32)
+        .find(|&id| scanner.scan_domain(id, &cfg)[0].outcome == ScanOutcome::Ok)
+        .expect("bench population must contain an established domain");
+    let mut group = c.benchmark_group("probe_loop");
+    group.sample_size(20);
+    group.bench_function("established_domain", |b| {
+        b.iter(|| scanner.scan_domain(std::hint::black_box(id), &cfg))
+    });
+    // Same probe with per-worker scratch reuse (the campaign hot path):
+    // the gap to `established_domain` is the allocation overhead the
+    // scratch chain removes.
+    group.bench_function("established_domain_scratch_reuse", |b| {
+        let mut scratch = ProbeScratch::default();
+        let mut records = Vec::new();
+        b.iter(|| {
+            records.clear();
+            scanner.scan_domain_into(std::hint::black_box(id), &cfg, &mut scratch, &mut records);
+            records.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sweep_threads, probe_loop
+}
+criterion_main!(benches);

@@ -75,8 +75,7 @@ fn simulator_events(c: &mut Criterion) {
     group.throughput(Throughput::Elements(10_000));
     group.bench_function("send_and_drain_10k_datagrams", |b| {
         b.iter(|| {
-            let mut sim =
-                Simulator::symmetric(LinkConfig::ideal(SimDuration::from_millis(10)), 1);
+            let mut sim = Simulator::symmetric(LinkConfig::ideal(SimDuration::from_millis(10)), 1);
             for i in 0..10_000u64 {
                 sim.send(Side::Client, vec![(i % 256) as u8; 64]);
             }
@@ -90,5 +89,11 @@ fn simulator_events(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, wire_codec, observer_throughput, connection_exchange, simulator_events);
+criterion_group!(
+    benches,
+    wire_codec,
+    observer_throughput,
+    connection_exchange,
+    simulator_events
+);
 criterion_main!(benches);

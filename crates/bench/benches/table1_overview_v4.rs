@@ -11,7 +11,10 @@ fn table1(c: &mut Criterion) {
     let population = bench_population(60_000, 1_500);
     let campaign = sweep(&population, IpVersion::V4, 0);
     let table = OverviewTable::from_campaign(&campaign);
-    println!("\n{}", render::render_overview("Table 1: IPv4 overview (bench scale)", &table));
+    println!(
+        "\n{}",
+        render::render_overview("Table 1: IPv4 overview (bench scale)", &table)
+    );
 
     // Benchmark the aggregation on the collected records.
     c.bench_function("table1/aggregate", |b| {

@@ -14,8 +14,16 @@ fn table2(c: &mut Criterion) {
 
     let servers = WebServerShares::from_campaign(&campaign);
     println!("Web servers (share of spinning connections):");
-    for ws in [WebServer::LiteSpeed, WebServer::Imunify360, WebServer::NginxQuic] {
-        println!("  {:<14} {:5.1}%", format!("{ws:?}"), servers.spin_share(ws) * 100.0);
+    for ws in [
+        WebServer::LiteSpeed,
+        WebServer::Imunify360,
+        WebServer::NginxQuic,
+    ] {
+        println!(
+            "  {:<14} {:5.1}%",
+            format!("{ws:?}"),
+            servers.spin_share(ws) * 100.0
+        );
     }
 
     c.bench_function("table2/aggregate", |b| {

@@ -10,7 +10,10 @@ fn table4(c: &mut Criterion) {
     let population = bench_population(60_000, 1_500);
     let campaign = sweep(&population, IpVersion::V6, 0);
     let table = OverviewTable::from_campaign(&campaign);
-    println!("\n{}", render::render_overview("Table 4: IPv6 overview (bench scale)", &table));
+    println!(
+        "\n{}",
+        render::render_overview("Table 4: IPv6 overview (bench scale)", &table)
+    );
 
     c.bench_function("table4/aggregate", |b| {
         b.iter(|| OverviewTable::from_campaign(std::hint::black_box(&campaign)))

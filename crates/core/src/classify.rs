@@ -30,7 +30,10 @@ impl FlowClassification {
     /// i.e. it lands in the paper's "Spin" candidate column before
     /// grease filtering.
     pub fn has_activity(self) -> bool {
-        matches!(self, FlowClassification::Spinning | FlowClassification::Greased)
+        matches!(
+            self,
+            FlowClassification::Spinning | FlowClassification::Greased
+        )
     }
 }
 

@@ -186,7 +186,7 @@ mod tests {
         // with the wrong value relationship.
         observer.observe(Direction::Downstream, &obs(30, true)); // genuine reflection
         observer.observe(Direction::Downstream, &obs(40, false)); // spurious flip back
-        // The spurious 1→0 downstream edge does not match upstream value 1.
+                                                                  // The spurious 1→0 downstream edge does not match upstream value 1.
         assert_eq!(observer.server_side_us(), &[20_000]);
     }
 

@@ -83,6 +83,15 @@ impl<T> EventQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Drops all pending events and resets the insertion counter, keeping
+    /// the heap's allocation: a cleared queue schedules exactly like a
+    /// fresh one, which is what lets simulator storage be reused across
+    /// runs without perturbing determinism.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +135,21 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
         q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_fifo_tiebreak() {
+        let mut q = EventQueue::new();
+        q.push(t(1), 0);
+        q.pop();
+        q.clear();
+        // After clear, insertion order restarts from scratch: same-time
+        // events pop in the order they were pushed post-clear.
+        q.push(t(5), 10);
+        q.push(t(5), 20);
+        assert_eq!(q.pop(), Some((t(5), 10)));
+        assert_eq!(q.pop(), Some((t(5), 20)));
         assert!(q.is_empty());
     }
 

@@ -17,14 +17,16 @@
 
 pub mod event;
 pub mod link;
+pub mod payload;
 pub mod pcap;
 pub mod rng;
 pub mod sim;
 pub mod time;
 
 pub use event::EventQueue;
-pub use pcap::{read_pcap, write_pcap, PcapError};
 pub use link::{Link, LinkConfig, Transit};
+pub use payload::Payload;
+pub use pcap::{read_pcap, write_pcap, PcapError};
 pub use rng::Rng;
-pub use sim::{PathStats, Side, SimEvent, Simulator, TapRecord};
+pub use sim::{PathStats, Side, SimEvent, SimScratch, Simulator, TapRecord};
 pub use time::{SimDuration, SimTime};

@@ -113,15 +113,13 @@ impl Link {
 
     /// Sends a packet of `size` bytes at time `now`; `tap_position` in
     /// `[0, 1]` locates the passive observer along the propagation path.
-    pub fn send(
-        &mut self,
-        now: SimTime,
-        size: usize,
-        tap_position: f64,
-        rng: &mut Rng,
-    ) -> Transit {
+    pub fn send(&mut self, now: SimTime, size: usize, tap_position: f64, rng: &mut Rng) -> Transit {
         // Serialization: packets queue behind each other at finite rates.
-        let start = if now > self.next_free { now } else { self.next_free };
+        let start = if now > self.next_free {
+            now
+        } else {
+            self.next_free
+        };
         let serialization = match self.config.rate_bytes_per_sec {
             Some(rate) => {
                 SimDuration::from_nanos((size as u64).saturating_mul(1_000_000_000) / rate.max(1))

@@ -1,0 +1,128 @@
+//! Shared immutable datagram bytes.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable datagram bytes behind a reference count.
+///
+/// A datagram entering the path may be recorded at the tap, duplicated,
+/// and delivered to the far end; each consumer holds a cheap handle to the
+/// same allocation instead of a deep copy of the bytes. Wrapping the
+/// sender's `Vec<u8>` directly means entering the simulator never copies
+/// payload bytes at all.
+#[derive(Clone)]
+pub struct Payload(Arc<Vec<u8>>);
+
+impl Payload {
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether two handles share one allocation (i.e. no copy happened).
+    pub fn ptr_eq(a: &Payload, b: &Payload) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// Recovers the underlying buffer if this is the last handle, letting
+    /// consumers recycle delivered datagram allocations.
+    pub fn into_vec(self) -> Option<Vec<u8>> {
+        Arc::try_unwrap(self.0).ok()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(bytes: Vec<u8>) -> Self {
+        Payload(Arc::new(bytes))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(bytes: &[u8]) -> Self {
+        Payload(Arc::new(bytes.to_vec()))
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        Payload::ptr_eq(self, other) || **self == **other
+    }
+}
+
+impl Eq for Payload {}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        **self == other[..]
+    }
+}
+
+impl PartialEq<Payload> for Vec<u8> {
+    fn eq(&self, other: &Payload) -> bool {
+        self[..] == **other
+    }
+}
+
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        **self == **other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_without_copying_and_clones_share() {
+        let p: Payload = vec![1, 2, 3].into();
+        let q = p.clone();
+        assert!(Payload::ptr_eq(&p, &q));
+        assert_eq!(p, q);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn compares_against_plain_bytes() {
+        let p: Payload = vec![9, 8].into();
+        assert_eq!(p, vec![9, 8]);
+        assert_eq!(vec![9, 8], p);
+        assert_eq!(p, &[9u8, 8][..]);
+        let other: Payload = (&[9u8, 8][..]).into();
+        assert_eq!(p, other);
+        assert!(!Payload::ptr_eq(&p, &other));
+    }
+
+    #[test]
+    fn debug_formats_as_bytes() {
+        let p: Payload = vec![7].into();
+        assert_eq!(format!("{p:?}"), "[7]");
+    }
+}

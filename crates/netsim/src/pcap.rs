@@ -109,15 +109,13 @@ pub fn read_pcap(bytes: &[u8]) -> Result<Vec<TapRecord>, PcapError> {
         at += caplen;
         let (&dir, datagram) = body.split_first().ok_or(PcapError::EmptyPacket)?;
         records.push(TapRecord {
-            time: SimTime::from_nanos(
-                (u64::from(secs) * 1_000_000 + u64::from(micros)) * 1_000,
-            ),
+            time: SimTime::from_nanos((u64::from(secs) * 1_000_000 + u64::from(micros)) * 1_000),
             from: if dir == DIR_CLIENT_TO_SERVER {
                 Side::Client
             } else {
                 Side::Server
             },
-            datagram: datagram.to_vec(),
+            datagram: datagram.into(),
         });
     }
     Ok(records)
@@ -132,7 +130,7 @@ mod tests {
         TapRecord {
             time: SimTime::ZERO + SimDuration::from_millis(ms),
             from,
-            datagram: payload.to_vec(),
+            datagram: payload.into(),
         }
     }
 
@@ -162,7 +160,7 @@ mod tests {
         let records = vec![TapRecord {
             time: SimTime::from_nanos(1_234_567_000),
             from: Side::Server,
-            datagram: vec![1],
+            datagram: vec![1].into(),
         }];
         let back = read_pcap(&write_pcap(&records)).unwrap();
         assert_eq!(back[0].time.as_micros(), 1_234_567);

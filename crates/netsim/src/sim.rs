@@ -3,6 +3,7 @@
 
 use crate::event::EventQueue;
 use crate::link::{Link, LinkConfig};
+use crate::payload::Payload;
 use crate::rng::Rng;
 use crate::time::SimTime;
 
@@ -41,8 +42,9 @@ pub struct TapRecord {
     pub time: SimTime,
     /// Which side sent it.
     pub from: Side,
-    /// The raw datagram bytes (the observer parses what it legally can).
-    pub datagram: Vec<u8>,
+    /// The raw datagram bytes (the observer parses what it legally can);
+    /// shared with the in-flight copy, not duplicated.
+    pub datagram: Payload,
 }
 
 /// Aggregate per-path statistics.
@@ -87,7 +89,7 @@ pub enum SimEvent {
         /// Receiving side.
         to: Side,
         /// The datagram bytes.
-        datagram: Vec<u8>,
+        datagram: Payload,
     },
     /// A timer set via [`Simulator::set_timer`] fired for `side`.
     Timer {
@@ -100,8 +102,21 @@ pub enum SimEvent {
 
 #[derive(Debug)]
 enum Pending {
-    Deliver { to: Side, datagram: Vec<u8> },
+    Deliver { to: Side, datagram: Payload },
     Timer { side: Side, token: u64 },
+}
+
+/// Reusable simulator storage: the event-queue heap and the tap buffer.
+///
+/// A scan loop runs millions of short simulations; recycling this between
+/// runs keeps their allocations alive instead of rebuilding them per
+/// connection. Obtain one from [`Simulator::into_scratch`] and feed it to
+/// [`Simulator::from_scratch`]; a simulator built from scratch storage
+/// behaves identically to a fresh one.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    queue: EventQueue<Pending>,
+    tap_records: Vec<TapRecord>,
 }
 
 /// Discrete-event simulator for one client↔server path.
@@ -126,21 +141,49 @@ pub struct Simulator {
 impl Simulator {
     /// Creates a simulator with the given per-direction link configs.
     pub fn new(c2s: LinkConfig, s2c: LinkConfig, seed: u64) -> Self {
-        Simulator {
-            now: SimTime::ZERO,
-            queue: EventQueue::new(),
-            c2s: Link::new(c2s),
-            s2c: Link::new(s2c),
-            tap_position: None,
-            tap_records: Vec::new(),
-            stats: PathStats::default(),
-            rng: Rng::new(seed),
-        }
+        Simulator::from_scratch(c2s, s2c, seed, SimScratch::default())
     }
 
     /// Creates a symmetric simulator (same config both directions).
     pub fn symmetric(config: LinkConfig, seed: u64) -> Self {
         Simulator::new(config.clone(), config, seed)
+    }
+
+    /// Like [`new`](Simulator::new), but reusing the allocations held in
+    /// `scratch` (recovered from a previous run via
+    /// [`into_scratch`](Simulator::into_scratch)).
+    pub fn from_scratch(
+        c2s: LinkConfig,
+        s2c: LinkConfig,
+        seed: u64,
+        mut scratch: SimScratch,
+    ) -> Self {
+        scratch.queue.clear();
+        scratch.tap_records.clear();
+        Simulator {
+            now: SimTime::ZERO,
+            queue: scratch.queue,
+            c2s: Link::new(c2s),
+            s2c: Link::new(s2c),
+            tap_position: None,
+            tap_records: scratch.tap_records,
+            stats: PathStats::default(),
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Symmetric variant of [`from_scratch`](Simulator::from_scratch).
+    pub fn symmetric_from_scratch(config: LinkConfig, seed: u64, scratch: SimScratch) -> Self {
+        Simulator::from_scratch(config.clone(), config, seed, scratch)
+    }
+
+    /// Tears the simulator down, recovering its reusable storage for the
+    /// next run.
+    pub fn into_scratch(self) -> SimScratch {
+        SimScratch {
+            queue: self.queue,
+            tap_records: self.tap_records,
+        }
     }
 
     /// Places a passive tap at `position` along the path (0 = next to the
@@ -176,7 +219,7 @@ impl Simulator {
     }
 
     /// Injects a datagram sent by `from` at the current time.
-    pub fn send(&mut self, from: Side, datagram: Vec<u8>) {
+    pub fn send(&mut self, from: Side, datagram: impl Into<Payload>) {
         self.send_after(from, crate::time::SimDuration::ZERO, datagram);
     }
 
@@ -184,7 +227,13 @@ impl Simulator {
     /// processing latency: the time between the triggering event and the
     /// packet hitting the wire — the end-host delay the paper holds
     /// responsible for spin-bit overestimation).
-    pub fn send_after(&mut self, from: Side, delay: crate::time::SimDuration, datagram: Vec<u8>) {
+    pub fn send_after(
+        &mut self,
+        from: Side,
+        delay: crate::time::SimDuration,
+        datagram: impl Into<Payload>,
+    ) {
+        let datagram: Payload = datagram.into();
         let dir = PathStats::dir(from);
         self.stats.sent[dir] += 1;
         self.stats.bytes[dir] += datagram.len() as u64;
@@ -213,6 +262,9 @@ impl Simulator {
             self.stats.duplicated[dir] += 1;
         }
 
+        // Tap capture and each delivery only clone the shared handle; the
+        // bytes themselves are never copied, and with no tap installed the
+        // capture costs nothing at all.
         if self.tap_position.is_some() {
             self.tap_records.push(TapRecord {
                 time: transit.tap_time,
@@ -279,7 +331,7 @@ mod tests {
             ev,
             SimEvent::Datagram {
                 to: Side::Server,
-                datagram: vec![1, 2, 3]
+                datagram: vec![1, 2, 3].into()
             }
         );
         assert_eq!(sim.now(), at);
@@ -295,7 +347,13 @@ mod tests {
         let (t2, ev) = sim.step().unwrap();
         assert_eq!(t1, SimTime::ZERO + ms(10));
         assert_eq!(t2, SimTime::ZERO + ms(40));
-        assert!(matches!(ev, SimEvent::Datagram { to: Side::Client, .. }));
+        assert!(matches!(
+            ev,
+            SimEvent::Datagram {
+                to: Side::Client,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -362,7 +420,13 @@ mod tests {
         assert_eq!(stats.total_lost(), 1);
         // Lost client packet never arrives; server one does.
         let (_, ev) = sim.step().unwrap();
-        assert!(matches!(ev, SimEvent::Datagram { to: Side::Client, .. }));
+        assert!(matches!(
+            ev,
+            SimEvent::Datagram {
+                to: Side::Client,
+                ..
+            }
+        ));
         assert!(sim.step().is_none());
     }
 
@@ -384,10 +448,12 @@ mod tests {
         // Find a seed where the first packet is held back and the second is
         // not: the second then overtakes the first on the wire.
         for seed in 0..64 {
-            let mut sim = Simulator::new(cfg.clone(), LinkConfig::ideal(ms(10)), seed).with_tap(1.0);
+            let mut sim =
+                Simulator::new(cfg.clone(), LinkConfig::ideal(ms(10)), seed).with_tap(1.0);
             sim.send(Side::Client, vec![1]);
             sim.send(Side::Client, vec![2]);
-            if sim.stats().reordered[0] != 1 || sim.tap_records()[1].time >= sim.tap_records()[0].time
+            if sim.stats().reordered[0] != 1
+                || sim.tap_records()[1].time >= sim.tap_records()[0].time
             {
                 continue;
             }
@@ -401,6 +467,44 @@ mod tests {
     }
 
     #[test]
+    fn tap_record_shares_delivered_allocation() {
+        let mut sim = Simulator::symmetric(LinkConfig::ideal(ms(10)), 1).with_tap(0.5);
+        sim.send(Side::Client, vec![1, 2, 3]);
+        let tapped = sim.tap_records()[0].datagram.clone();
+        let Some((_, SimEvent::Datagram { datagram, .. })) = sim.step() else {
+            panic!("expected delivery");
+        };
+        assert!(
+            crate::payload::Payload::ptr_eq(&tapped, &datagram),
+            "tap and delivery must share one allocation"
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_replays_identical_sequence() {
+        let cfg = LinkConfig::ideal(ms(10)).with_loss(0.2).with_jitter(ms(3));
+        let run = |scratch: SimScratch| {
+            let mut sim = Simulator::symmetric_from_scratch(cfg.clone(), 9, scratch).with_tap(0.5);
+            for i in 0..20u8 {
+                sim.send(Side::Client, vec![i]);
+            }
+            let mut out = Vec::new();
+            while let Some(step) = sim.step() {
+                out.push(step);
+            }
+            sim.sort_tap_records();
+            let taps = sim.tap_records().len();
+            (out, taps, sim.into_scratch())
+        };
+        let (fresh_events, fresh_taps, scratch) = run(SimScratch::default());
+        // A simulator recycling the previous run's storage must replay the
+        // exact same event sequence, and start with no stale tap records.
+        let (reused_events, reused_taps, _) = run(scratch);
+        assert_eq!(fresh_events, reused_events);
+        assert_eq!(fresh_taps, reused_taps);
+    }
+
+    #[test]
     fn side_other_flips() {
         assert_eq!(Side::Client.other(), Side::Server);
         assert_eq!(Side::Server.other(), Side::Client);
@@ -410,9 +514,7 @@ mod tests {
     #[test]
     fn deterministic_event_sequence() {
         let run = |seed| {
-            let cfg = LinkConfig::ideal(ms(10))
-                .with_loss(0.2)
-                .with_jitter(ms(3));
+            let cfg = LinkConfig::ideal(ms(10)).with_loss(0.2).with_jitter(ms(3));
             let mut sim = Simulator::symmetric(cfg, seed);
             for i in 0..20u8 {
                 sim.send(Side::Client, vec![i]);

@@ -338,14 +338,12 @@ mod tests {
 
     #[test]
     fn unknown_tag_rejected() {
-        let mut bytes = encode_trace(&TraceLog::new("x"));
-        // Append a bogus event: patch the count then add garbage.
         let fresh = {
             let mut t = TraceLog::new("x");
             t.push(1, EventData::HandshakeCompleted);
             t
         };
-        bytes = encode_trace(&fresh);
+        let mut bytes = encode_trace(&fresh);
         let last = bytes.len() - 1;
         bytes[last] = 99; // replace the HandshakeCompleted tag
         assert_eq!(decode_trace(&bytes), Err(BinaryError::UnknownTag(99)));

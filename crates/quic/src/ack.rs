@@ -65,7 +65,7 @@ impl RecvTracker {
         }
         let out_of_order = self.largest.is_some_and(|l| pn < l);
         self.insert(pn);
-        if self.largest.map_or(true, |l| pn >= l) {
+        if self.largest.is_none_or(|l| pn >= l) {
             self.largest = Some(pn);
             self.largest_recv_time = now;
         }

@@ -161,6 +161,9 @@ pub struct Connection {
     error: Option<ConnectionError>,
     /// Emission latency of the packet most recently produced.
     last_send_latency: SimDuration,
+    /// Recycled datagram buffers for outgoing packets (fed back via
+    /// [`Connection::recycle_datagram`]).
+    datagram_pool: Vec<Vec<u8>>,
     /// Congestion window in packets (NewReno-style slow start +
     /// congestion avoidance). Gates fresh 1-RTT stream data.
     cwnd: u64,
@@ -198,6 +201,7 @@ impl Connection {
             close_sent: false,
             error: None,
             last_send_latency: SimDuration::ZERO,
+            datagram_pool: Vec::new(),
             cwnd: cfg.initial_cwnd_packets,
             ssthresh: u64::MAX,
             ca_credit: 0,
@@ -237,6 +241,7 @@ impl Connection {
             close_sent: false,
             error: None,
             last_send_latency: SimDuration::ZERO,
+            datagram_pool: Vec::new(),
             cwnd: cfg.initial_cwnd_packets,
             ssthresh: u64::MAX,
             ca_credit: 0,
@@ -280,6 +285,15 @@ impl Connection {
         self.last_send_latency
     }
 
+    /// Hands a spent datagram buffer back for reuse by future
+    /// [`Connection::poll_transmit`] calls. Drivers that unwrap delivered
+    /// payloads can keep the packet path allocation-free in steady state.
+    pub fn recycle_datagram(&mut self, buf: Vec<u8>) {
+        if self.datagram_pool.len() < 8 {
+            self.datagram_pool.push(buf);
+        }
+    }
+
     /// Negotiated version.
     pub fn version(&self) -> Version {
         self.version
@@ -304,6 +318,15 @@ impl Connection {
     /// Takes ownership of the qlog trace.
     pub fn take_qlog(&mut self) -> TraceLog {
         std::mem::take(&mut self.qlog)
+    }
+
+    /// Replaces the qlog event storage with `events` (cleared first),
+    /// reusing its allocation. Scan loops recycle per-connection buffers
+    /// this way; events already logged are discarded, so call it right
+    /// after construction.
+    pub fn reuse_qlog_events(&mut self, mut events: Vec<quicspin_qlog::LoggedEvent>) {
+        events.clear();
+        self.qlog.events = events;
     }
 
     /// Pops the next application event.
@@ -355,8 +378,7 @@ impl Connection {
             Header::Short(h) => {
                 // Spin state updates on every received 1-RTT packet,
                 // keyed internally to the largest packet number.
-                self.spin
-                    .on_receive(h.packet_number.value(), h.spin, h.vec);
+                self.spin.on_receive(h.packet_number.value(), h.spin, h.vec);
                 (
                     PacketSpace::Application,
                     h.packet_number.value(),
@@ -391,7 +413,7 @@ impl Connection {
             return; // duplicate: already processed
         }
 
-        for frame in packet.frames.clone() {
+        for frame in packet.frames {
             self.handle_frame(now, space, frame);
         }
     }
@@ -459,7 +481,7 @@ impl Connection {
             Frame::Crypto { offset, data } => {
                 self.spaces[space_index(space)]
                     .crypto_in
-                    .on_frame(0, offset, &data, false);
+                    .on_frame(0, offset, data, false);
                 self.drive_handshake(now, space);
             }
             Frame::Stream {
@@ -468,7 +490,7 @@ impl Connection {
                 fin,
                 data,
             } => {
-                self.streams.on_frame(id, offset, &data, fin);
+                self.streams.on_frame(id, offset, data, fin);
                 for readable in self.streams.readable() {
                     if let Some((data, fin)) = self.streams.read(readable) {
                         self.events.push_back(AppEvent::StreamData {
@@ -526,49 +548,47 @@ impl Connection {
         };
         match (self.role, self.crypto_state, space) {
             // Server receives ClientHello.
-            (Role::Server, CryptoState::AwaitClientHello, PacketSpace::Initial) => {
-                if data.len() >= 6 && &data[..2] == b"CH" {
-                    let code = u32::from_be_bytes([data[2], data[3], data[4], data[5]]);
-                    if let Ok(v) = Version::from_code(code) {
-                        self.version = v;
-                    }
-                    let mut sh = b"SH".to_vec();
-                    sh.extend_from_slice(&self.version.code().to_be_bytes());
-                    self.queue_crypto(PacketSpace::Initial, &sh);
-                    // Server flight: certificate-equivalent + finished.
-                    self.queue_crypto(PacketSpace::Handshake, b"SFIN");
-                    self.crypto_state = CryptoState::SentServerFlight;
+            (Role::Server, CryptoState::AwaitClientHello, PacketSpace::Initial)
+                if data.len() >= 6 && &data[..2] == b"CH" =>
+            {
+                let code = u32::from_be_bytes([data[2], data[3], data[4], data[5]]);
+                if let Ok(v) = Version::from_code(code) {
+                    self.version = v;
                 }
+                let mut sh = b"SH".to_vec();
+                sh.extend_from_slice(&self.version.code().to_be_bytes());
+                self.queue_crypto(PacketSpace::Initial, &sh);
+                // Server flight: certificate-equivalent + finished.
+                self.queue_crypto(PacketSpace::Handshake, b"SFIN");
+                self.crypto_state = CryptoState::SentServerFlight;
             }
             // Client receives the server handshake flight.
-            (Role::Client, CryptoState::SentClientHello, PacketSpace::Handshake) => {
-                if data.starts_with(b"SFIN") {
-                    self.queue_crypto(PacketSpace::Handshake, b"CFIN");
-                    self.crypto_state = CryptoState::Done;
-                    self.state = State::Established;
-                    self.events.push_back(AppEvent::HandshakeCompleted);
-                    self.qlog
-                        .push(self.rel_us(now), EventData::HandshakeCompleted);
-                }
+            (Role::Client, CryptoState::SentClientHello, PacketSpace::Handshake)
+                if data.starts_with(b"SFIN") =>
+            {
+                self.queue_crypto(PacketSpace::Handshake, b"CFIN");
+                self.crypto_state = CryptoState::Done;
+                self.state = State::Established;
+                self.events.push_back(AppEvent::HandshakeCompleted);
+                self.qlog
+                    .push(self.rel_us(now), EventData::HandshakeCompleted);
             }
             // Server receives the client Finished.
-            (Role::Server, CryptoState::SentServerFlight, PacketSpace::Handshake) => {
-                if data.starts_with(b"CFIN") {
-                    self.crypto_state = CryptoState::Done;
-                    self.state = State::Established;
-                    self.handshake_done_to_send = true;
-                    self.events.push_back(AppEvent::HandshakeCompleted);
-                    self.qlog
-                        .push(self.rel_us(now), EventData::HandshakeCompleted);
-                }
+            (Role::Server, CryptoState::SentServerFlight, PacketSpace::Handshake)
+                if data.starts_with(b"CFIN") =>
+            {
+                self.crypto_state = CryptoState::Done;
+                self.state = State::Established;
+                self.handshake_done_to_send = true;
+                self.events.push_back(AppEvent::HandshakeCompleted);
+                self.qlog
+                    .push(self.rel_us(now), EventData::HandshakeCompleted);
             }
             // ServerHello on the client only confirms the version.
-            (Role::Client, _, PacketSpace::Initial) => {
-                if data.len() >= 6 && &data[..2] == b"SH" {
-                    let code = u32::from_be_bytes([data[2], data[3], data[4], data[5]]);
-                    if let Ok(v) = Version::from_code(code) {
-                        self.version = v;
-                    }
+            (Role::Client, _, PacketSpace::Initial) if data.len() >= 6 && &data[..2] == b"SH" => {
+                let code = u32::from_be_bytes([data[2], data[3], data[4], data[5]]);
+                if let Ok(v) = Version::from_code(code) {
+                    self.version = v;
                 }
             }
             _ => {}
@@ -670,10 +690,7 @@ impl Connection {
         // study: the request's ACK rides the first response packet, so
         // fast servers do not leave a 25 ms delayed-ACK sample in the
         // client's estimator.
-        if !frames
-            .iter()
-            .any(|f| matches!(f, Frame::Ack { .. }))
-        {
+        if !frames.iter().any(|f| matches!(f, Frame::Ack { .. })) {
             if let Some(mut ack) = self.spaces[idx].recv.make_ack(now) {
                 if let Frame::Ack {
                     ref mut delay_us, ..
@@ -721,7 +738,9 @@ impl Connection {
         if self.role == Role::Client && space == PacketSpace::Initial {
             let current = packet.encoded_len();
             if current < 1200 {
-                packet.frames.push(Frame::Padding { len: 1200 - current });
+                packet.frames.push(Frame::Padding {
+                    len: 1200 - current,
+                });
             }
         }
         let ack_eliciting = packet.is_ack_eliciting();
@@ -730,11 +749,11 @@ impl Connection {
         } else {
             self.cfg.ack_processing_latency
         };
-        let datagram = packet.encode();
+        let datagram = packet.encode_into(self.datagram_pool.pop().unwrap_or_default());
 
         self.spaces[idx]
             .sent
-            .on_sent(pn, now, ack_eliciting, &packet.frames);
+            .on_sent(pn, now, ack_eliciting, packet.frames);
         self.qlog.push(
             self.rel_us(now),
             EventData::PacketSent {

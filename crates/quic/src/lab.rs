@@ -14,8 +14,10 @@
 use crate::config::TransportConfig;
 use crate::conn::{AppEvent, Connection};
 use quicspin_core::{GreaseFilter, ObserverConfig, ObserverReport, PacketObservation};
-use quicspin_netsim::{LinkConfig, Side, SimDuration, SimEvent, SimTime, Simulator, TapRecord};
-use quicspin_qlog::TraceLog;
+use quicspin_netsim::{
+    LinkConfig, Side, SimDuration, SimEvent, SimScratch, SimTime, Simulator, TapRecord,
+};
+use quicspin_qlog::{LoggedEvent, TraceLog};
 use quicspin_wire::Header;
 
 /// The server application's response behaviour.
@@ -82,8 +84,11 @@ pub struct LabConfig {
     /// rates spread flights across the path (ack clocking), which is what
     /// lets sub-RTT reordering cross spin edges at all.
     pub link_rate_bytes_per_sec: Option<u64>,
-    /// Tap position along the path (0 = client, 1 = server).
-    pub tap_position: f64,
+    /// Tap position along the path (0 = client, 1 = server), or `None`
+    /// for no tap at all. Disabling the tap changes nothing about the
+    /// exchange — the tap is purely passive — but skips the per-datagram
+    /// capture, which a scan loop that never reads the records wants.
+    pub tap_position: Option<f64>,
     /// The request bytes sent on stream 0.
     pub request: Vec<u8>,
     /// Bytes prepended to the first response chunk (e.g. an HTTP/3-style
@@ -106,7 +111,7 @@ impl Default for LabConfig {
             server: TransportConfig::default(),
             server_profile: ServerProfile::default(),
             link_rate_bytes_per_sec: None,
-            tap_position: 0.5,
+            tap_position: Some(0.5),
             request: b"GET / HTTP/3\r\nhost: lab.example\r\n\r\n".to_vec(),
             response_prefix: Vec::new(),
             max_duration: SimDuration::from_secs(60),
@@ -176,6 +181,37 @@ impl LabOutcome {
     }
 }
 
+/// Reusable per-lab-run storage.
+///
+/// One connection lab run allocates a simulator event queue, two qlog
+/// event buffers, the response byte buffer and a chunk staging buffer. A
+/// scan loop performs millions of runs; keeping one `LabScratch` per
+/// worker thread and passing it to
+/// [`run_with_scratch`](ConnectionLab::run_with_scratch) (then recovering
+/// the outcome's buffers via [`reclaim`](LabScratch::reclaim)) makes the
+/// steady state nearly allocation-free. Results are identical to
+/// [`run`](ConnectionLab::run).
+#[derive(Debug, Default)]
+pub struct LabScratch {
+    sim: SimScratch,
+    client_events: Vec<LoggedEvent>,
+    server_events: Vec<LoggedEvent>,
+    response_data: Vec<u8>,
+    body: Vec<u8>,
+}
+
+impl LabScratch {
+    /// Recovers the reusable buffers from a finished outcome. Call once
+    /// the outcome's data has been consumed; the next
+    /// [`run_with_scratch`](ConnectionLab::run_with_scratch) then reuses
+    /// the allocations instead of making fresh ones.
+    pub fn reclaim(&mut self, outcome: LabOutcome) {
+        self.response_data = outcome.response_data;
+        self.client_events = outcome.client_qlog.events;
+        self.server_events = outcome.server_qlog.events;
+    }
+}
+
 /// Timer token for transport timeouts.
 const TOKEN_TRANSPORT: u64 = 0;
 /// Timer tokens >= this index into the server app's pending chunks.
@@ -195,6 +231,13 @@ impl ConnectionLab {
 
     /// Runs the exchange to completion (or `max_duration`).
     pub fn run(&mut self) -> LabOutcome {
+        self.run_with_scratch(&mut LabScratch::default())
+    }
+
+    /// [`run`](ConnectionLab::run), but reusing the allocations held in
+    /// `scratch`. The outcome is identical; only the allocation behaviour
+    /// differs.
+    pub fn run_with_scratch(&mut self, scratch: &mut LabScratch) -> LabOutcome {
         let cfg = &self.config;
         let one_way = SimDuration::from_millis_f64(cfg.path_rtt_ms / 2.0);
         let link = LinkConfig {
@@ -206,9 +249,17 @@ impl ConnectionLab {
             rate_bytes_per_sec: cfg.link_rate_bytes_per_sec,
             ..LinkConfig::default()
         };
-        let mut sim = Simulator::symmetric(link, cfg.seed).with_tap(cfg.tap_position);
-        let mut client = Connection::new_client(cfg.client.clone(), cfg.seed.wrapping_mul(2) + 1, sim.now());
-        let mut server = Connection::new_server(cfg.server.clone(), cfg.seed.wrapping_mul(2) + 2, sim.now());
+        let mut sim =
+            Simulator::symmetric_from_scratch(link, cfg.seed, std::mem::take(&mut scratch.sim));
+        if let Some(position) = cfg.tap_position {
+            sim = sim.with_tap(position);
+        }
+        let mut client =
+            Connection::new_client(cfg.client.clone(), cfg.seed.wrapping_mul(2) + 1, sim.now());
+        let mut server =
+            Connection::new_server(cfg.server.clone(), cfg.seed.wrapping_mul(2) + 2, sim.now());
+        client.reuse_qlog_events(std::mem::take(&mut scratch.client_events));
+        server.reuse_qlog_events(std::mem::take(&mut scratch.server_events));
 
         // Server app state: request assembly + scheduled response chunks.
         let mut request_done = false;
@@ -216,7 +267,8 @@ impl ConnectionLab {
         let mut chunks_sent = 0usize;
         let mut response_fin_sent = false;
         let mut response_bytes = 0usize;
-        let mut response_data: Vec<u8> = Vec::new();
+        let mut response_data: Vec<u8> = std::mem::take(&mut scratch.response_data);
+        response_data.clear();
         let mut client_done = false;
         let deadline = SimTime::ZERO + cfg.max_duration;
 
@@ -239,22 +291,26 @@ impl ConnectionLab {
                         Side::Server => &mut server,
                     };
                     conn.handle_datagram(now, &datagram);
+                    // Recycle the delivered buffer (sole handle unless a
+                    // tap kept one) so the receiver's own sends reuse it.
+                    if let Some(buf) = datagram.into_vec() {
+                        conn.recycle_datagram(buf);
+                    }
                 }
                 SimEvent::Timer { side, token } => {
                     if token >= TOKEN_APP_BASE {
                         // Server app: emit response chunk #(token - base).
                         let idx = (token - TOKEN_APP_BASE) as usize;
-                        if side == Side::Server && idx == chunks_sent && idx < response_plan.len()
-                        {
+                        if side == Side::Server && idx == chunks_sent && idx < response_plan.len() {
                             let size = response_plan[idx];
                             let fin = idx + 1 == response_plan.len();
-                            let mut body = if idx == 0 {
-                                cfg.response_prefix.clone()
-                            } else {
-                                Vec::new()
-                            };
-                            body.extend(std::iter::repeat(0x42u8).take(size));
-                            server.send_stream(0, &body, fin);
+                            let body = &mut scratch.body;
+                            body.clear();
+                            if idx == 0 {
+                                body.extend_from_slice(&cfg.response_prefix);
+                            }
+                            body.extend(std::iter::repeat_n(0x42u8, size));
+                            server.send_stream(0, body, fin);
                             chunks_sent += 1;
                             if fin {
                                 response_fin_sent = true;
@@ -290,12 +346,14 @@ impl ConnectionLab {
             }
             while let Some(ev) = server.poll_event() {
                 match ev {
-                    AppEvent::StreamData { id: 0, fin: true, .. } if !request_done => {
+                    AppEvent::StreamData {
+                        id: 0, fin: true, ..
+                    } if !request_done => {
                         request_done = true;
                         // Schedule the response chunks.
                         let mut t = now + cfg.server_profile.initial_delay;
                         for (i, &(gap, size)) in cfg.server_profile.chunks.iter().enumerate() {
-                            t = t + gap;
+                            t += gap;
                             response_plan.push(size);
                             sim.set_timer(Side::Server, t, TOKEN_APP_BASE + i as u64);
                         }
@@ -321,15 +379,18 @@ impl ConnectionLab {
 
         sim.sort_tap_records();
         let finished_at = sim.now();
+        let tap_records = sim.take_tap_records();
+        scratch.sim = sim.into_scratch();
         LabOutcome {
-            handshake_completed: client.is_established() || client.is_closed() && client.qlog().handshake_completed(),
+            handshake_completed: client.is_established()
+                || client.is_closed() && client.qlog().handshake_completed(),
             response_bytes,
             response_data,
             response_complete: client_done,
             client_stack_samples_us: client.rtt().samples_us().to_vec(),
             client_qlog: client.take_qlog(),
             server_qlog: server.take_qlog(),
-            tap_records: sim.take_tap_records(),
+            tap_records,
             cid_len: cfg.client.cid_len,
             finished_at,
         }
@@ -350,7 +411,9 @@ fn side_index(side: Side) -> usize {
 }
 
 fn arm(sim: &mut Simulator, side: Side, conn: &Connection, armed: &mut [Option<SimTime>; 2]) {
-    let Some(at) = conn.next_timeout() else { return };
+    let Some(at) = conn.next_timeout() else {
+        return;
+    };
     let slot = &mut armed[side_index(side)];
     // Skip if an earlier-or-equal wakeup is already pending; a stale later
     // deadline is handled when that wakeup fires (on_timeout re-checks).
@@ -366,6 +429,45 @@ mod tests {
     use super::*;
     use crate::config::SpinPolicy;
     use quicspin_core::FlowClassification;
+
+    #[test]
+    fn scratch_reuse_is_outcome_identical() {
+        let cfg = LabConfig {
+            seed: 77,
+            loss: 0.02,
+            jitter_ms: 1.5,
+            ..LabConfig::default()
+        };
+        let fresh = ConnectionLab::new(cfg.clone()).run();
+        let mut scratch = LabScratch::default();
+        // Warm the scratch on an unrelated run, then reclaim its buffers.
+        let warmup = ConnectionLab::new(LabConfig::default()).run_with_scratch(&mut scratch);
+        scratch.reclaim(warmup);
+        let reused = ConnectionLab::new(cfg).run_with_scratch(&mut scratch);
+        assert_eq!(fresh.handshake_completed, reused.handshake_completed);
+        assert_eq!(fresh.response_data, reused.response_data);
+        assert_eq!(fresh.client_qlog, reused.client_qlog);
+        assert_eq!(fresh.server_qlog, reused.server_qlog);
+        assert_eq!(fresh.tap_records.len(), reused.tap_records.len());
+        assert_eq!(
+            fresh.client_stack_samples_us,
+            reused.client_stack_samples_us
+        );
+    }
+
+    #[test]
+    fn disabling_tap_does_not_change_exchange() {
+        let fresh = ConnectionLab::new(LabConfig::default()).run();
+        let untapped = ConnectionLab::new(LabConfig {
+            tap_position: None,
+            ..LabConfig::default()
+        })
+        .run();
+        assert!(untapped.tap_records.is_empty());
+        assert_eq!(fresh.client_qlog, untapped.client_qlog);
+        assert_eq!(fresh.response_data, untapped.response_data);
+        assert_eq!(fresh.finished_at, untapped.finished_at);
+    }
 
     #[test]
     fn default_lab_completes_exchange() {

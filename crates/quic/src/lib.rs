@@ -34,6 +34,6 @@ pub mod streams;
 pub use config::{SpinPolicy, TransportConfig};
 pub use conn::{AppEvent, Connection, ConnectionError, Role};
 pub use endpoint::{ConnectionHandle, Endpoint};
-pub use lab::{ConnectionLab, LabConfig, LabOutcome, ServerProfile};
+pub use lab::{ConnectionLab, LabConfig, LabOutcome, LabScratch, ServerProfile};
 pub use rtt::RttEstimator;
 pub use spin::SpinGenerator;

@@ -34,6 +34,9 @@ pub struct AckOutcome {
 pub struct SentLedger {
     unacked: BTreeMap<u64, SentPacket>,
     largest_acked: Option<u64>,
+    /// Ack-eliciting packets in flight, maintained incrementally so the
+    /// per-poll congestion and PTO queries never scan the ledger.
+    eliciting: u64,
 }
 
 impl SentLedger {
@@ -43,17 +46,19 @@ impl SentLedger {
     }
 
     /// Records a sent packet.
-    pub fn on_sent(&mut self, pn: u64, time: SimTime, ack_eliciting: bool, frames: &[Frame]) {
-        let retransmittable = frames
-            .iter()
-            .filter(|f| {
-                !matches!(
-                    f,
-                    Frame::Ack { .. } | Frame::Padding { .. } | Frame::ConnectionClose { .. }
-                )
-            })
-            .cloned()
-            .collect();
+    pub fn on_sent(&mut self, pn: u64, time: SimTime, ack_eliciting: bool, frames: Vec<Frame>) {
+        // Retain in place: keeps the packet's frame allocation instead of
+        // collecting into a fresh vector on every sent packet.
+        let mut retransmittable = frames;
+        retransmittable.retain(|f| {
+            !matches!(
+                f,
+                Frame::Ack { .. } | Frame::Padding { .. } | Frame::ConnectionClose { .. }
+            )
+        });
+        if ack_eliciting {
+            self.eliciting += 1;
+        }
         self.unacked.insert(
             pn,
             SentPacket {
@@ -64,26 +69,30 @@ impl SentLedger {
         );
     }
 
+    /// Removes a tracked packet, keeping the eliciting counter in sync.
+    fn remove(&mut self, pn: u64) -> SentPacket {
+        let sent = self.unacked.remove(&pn).expect("pn collected above");
+        if sent.ack_eliciting {
+            self.eliciting -= 1;
+        }
+        sent
+    }
+
     /// Processes an ACK frame's ranges; detects loss by packet threshold.
     pub fn on_ack(&mut self, ranges: &[AckRange], packet_threshold: u64) -> AckOutcome {
         let mut outcome = AckOutcome::default();
         let mut largest_newly: Option<(u64, SimTime, bool)> = None;
 
         for range in ranges {
-            // Collect the acked pns inside this range that we still track.
-            let acked: Vec<u64> = self
-                .unacked
-                .range(range.start..=range.end)
-                .map(|(&pn, _)| pn)
-                .collect();
-            for pn in acked {
-                let sent = self.unacked.remove(&pn).expect("pn collected above");
-                if largest_newly.map_or(true, |(l, _, _)| pn > l) {
+            // Pop the acked pns inside this range that we still track.
+            while let Some((&pn, _)) = self.unacked.range(range.start..=range.end).next() {
+                let sent = self.remove(pn);
+                if largest_newly.is_none_or(|(l, _, _)| pn > l) {
                     largest_newly = Some((pn, sent.time, sent.ack_eliciting));
                 }
                 outcome.newly_acked.push(pn);
             }
-            if self.largest_acked.map_or(true, |l| range.end > l) {
+            if self.largest_acked.is_none_or(|l| range.end > l) {
                 self.largest_acked = Some(range.end);
             }
         }
@@ -98,13 +107,8 @@ impl SentLedger {
         // than `packet_threshold` below the largest acked is lost.
         if let Some(largest) = self.largest_acked {
             let cutoff = largest.saturating_sub(packet_threshold);
-            let lost: Vec<u64> = self
-                .unacked
-                .range(..cutoff)
-                .map(|(&pn, _)| pn)
-                .collect();
-            for pn in lost {
-                let sent = self.unacked.remove(&pn).expect("pn collected above");
+            while let Some((&pn, _)) = self.unacked.range(..cutoff).next() {
+                let sent = self.remove(pn);
                 outcome.lost_pns.push(pn);
                 outcome.lost_frames.extend(sent.retransmittable);
             }
@@ -129,7 +133,7 @@ impl SentLedger {
             .map(|(&pn, _)| pn)
             .collect();
         for pn in lost {
-            let sent = self.unacked.remove(&pn).expect("pn collected above");
+            let sent = self.remove(pn);
             outcome.lost_pns.push(pn);
             outcome.lost_frames.extend(sent.retransmittable);
         }
@@ -138,21 +142,25 @@ impl SentLedger {
 
     /// Whether any ack-eliciting packet is still in flight.
     pub fn has_eliciting_in_flight(&self) -> bool {
-        self.unacked.values().any(|p| p.ack_eliciting)
+        self.eliciting > 0
     }
 
     /// Number of ack-eliciting packets in flight (congestion accounting).
     pub fn eliciting_in_flight(&self) -> u64 {
-        self.unacked.values().filter(|p| p.ack_eliciting).count() as u64
+        self.eliciting
     }
 
-    /// Send time of the oldest ack-eliciting packet in flight.
+    /// Send time of the oldest ack-eliciting packet in flight. Packet
+    /// numbers and send times grow together within a space, so the first
+    /// eliciting entry in pn order is the oldest — no full scan needed.
     pub fn oldest_eliciting_time(&self) -> Option<SimTime> {
+        if self.eliciting == 0 {
+            return None;
+        }
         self.unacked
             .values()
-            .filter(|p| p.ack_eliciting)
+            .find(|p| p.ack_eliciting)
             .map(|p| p.time)
-            .min()
     }
 
     /// PTO deadline given the estimator's interval.
@@ -171,7 +179,7 @@ impl SentLedger {
             .map(|(&pn, _)| pn)
             .collect();
         for pn in pns {
-            let sent = self.unacked.remove(&pn).expect("pn collected above");
+            let sent = self.remove(pn);
             frames.extend(sent.retransmittable);
         }
         frames
@@ -192,7 +200,7 @@ mod tests {
     }
 
     fn ping_at(ledger: &mut SentLedger, pn: u64, t: u64) {
-        ledger.on_sent(pn, at(t), true, &[Frame::Ping]);
+        ledger.on_sent(pn, at(t), true, vec![Frame::Ping]);
     }
 
     #[test]
@@ -209,7 +217,7 @@ mod tests {
     #[test]
     fn non_eliciting_ack_gives_no_sample() {
         let mut l = SentLedger::new();
-        l.on_sent(0, at(0), false, &[Frame::Padding { len: 1 }]);
+        l.on_sent(0, at(0), false, vec![Frame::Padding { len: 1 }]);
         let out = l.on_ack(&[AckRange::new(0, 0)], 3);
         assert_eq!(out.rtt_sample_from, None);
         assert_eq!(out.newly_acked, vec![0]);
@@ -246,7 +254,7 @@ mod tests {
             0,
             at(0),
             true,
-            &[
+            vec![
                 Frame::Ping,
                 Frame::Padding { len: 10 },
                 Frame::Ack {
@@ -268,22 +276,16 @@ mod tests {
         assert_eq!(l.pto_deadline(SimDuration::from_millis(100)), None);
         ping_at(&mut l, 0, 50);
         ping_at(&mut l, 1, 80);
-        assert_eq!(
-            l.pto_deadline(SimDuration::from_millis(100)),
-            Some(at(150))
-        );
+        assert_eq!(l.pto_deadline(SimDuration::from_millis(100)), Some(at(150)));
         l.on_ack(&[AckRange::new(0, 0)], 3);
-        assert_eq!(
-            l.pto_deadline(SimDuration::from_millis(100)),
-            Some(at(180))
-        );
+        assert_eq!(l.pto_deadline(SimDuration::from_millis(100)), Some(at(180)));
     }
 
     #[test]
     fn drain_for_retransmit_empties_eliciting() {
         let mut l = SentLedger::new();
         ping_at(&mut l, 0, 0);
-        l.on_sent(1, at(1), false, &[Frame::Padding { len: 1 }]);
+        l.on_sent(1, at(1), false, vec![Frame::Padding { len: 1 }]);
         let frames = l.drain_for_retransmit();
         assert_eq!(frames, vec![Frame::Ping]);
         assert!(!l.has_eliciting_in_flight());

@@ -62,7 +62,7 @@ impl SpinGenerator {
     /// passive observer has no packet numbers and cannot do the same,
     /// which is exactly the Fig. 1b failure mode).
     pub fn on_receive(&mut self, pn: u64, spin: bool, vec: u8) {
-        if self.largest_pn.map_or(true, |l| pn > l) {
+        if self.largest_pn.is_none_or(|l| pn > l) {
             let first = self.largest_pn.is_none();
             self.largest_pn = Some(pn);
             // The VEC tracks the packet that *set* the current spin value
@@ -129,27 +129,27 @@ mod tests {
     #[test]
     fn client_starts_at_zero() {
         let (mut g, mut r) = gen(SpinRole::Client, SpinPolicy::Participate);
-        assert_eq!(g.next_outgoing(&mut r).0, false);
-        assert_eq!(g.next_outgoing(&mut r).0, false);
+        assert!(!g.next_outgoing(&mut r).0);
+        assert!(!g.next_outgoing(&mut r).0);
     }
 
     #[test]
     fn server_reflects() {
         let (mut g, mut r) = gen(SpinRole::Server, SpinPolicy::Participate);
-        assert_eq!(g.next_outgoing(&mut r).0, false, "reflects 0 initially");
+        assert!(!g.next_outgoing(&mut r).0, "reflects 0 initially");
         g.on_receive(0, true, 0);
-        assert_eq!(g.next_outgoing(&mut r).0, true);
+        assert!(g.next_outgoing(&mut r).0);
         g.on_receive(1, false, 0);
-        assert_eq!(g.next_outgoing(&mut r).0, false);
+        assert!(!g.next_outgoing(&mut r).0);
     }
 
     #[test]
     fn client_inverts() {
         let (mut g, mut r) = gen(SpinRole::Client, SpinPolicy::Participate);
         g.on_receive(0, false, 0);
-        assert_eq!(g.next_outgoing(&mut r).0, true);
+        assert!(g.next_outgoing(&mut r).0);
         g.on_receive(1, true, 0);
-        assert_eq!(g.next_outgoing(&mut r).0, false);
+        assert!(!g.next_outgoing(&mut r).0);
     }
 
     #[test]
@@ -158,15 +158,17 @@ mod tests {
         g.on_receive(5, true, 0);
         // A reordered packet with a smaller pn must be ignored.
         g.on_receive(3, false, 0);
-        assert_eq!(g.next_outgoing(&mut r).0, true);
+        assert!(g.next_outgoing(&mut r).0);
     }
 
     #[test]
     fn full_loop_produces_square_wave() {
         // Simulate the ping-pong of §2.1 Fig. 1a.
         let mut r = rng();
-        let mut client = SpinGenerator::new(SpinRole::Client, SpinPolicy::Participate, false, &mut r);
-        let mut server = SpinGenerator::new(SpinRole::Server, SpinPolicy::Participate, false, &mut r);
+        let mut client =
+            SpinGenerator::new(SpinRole::Client, SpinPolicy::Participate, false, &mut r);
+        let mut server =
+            SpinGenerator::new(SpinRole::Server, SpinPolicy::Participate, false, &mut r);
         let mut pn = 0u64;
         let mut client_values = Vec::new();
         for _ in 0..4 {
@@ -189,8 +191,8 @@ mod tests {
         for pn in 0..20 {
             g0.on_receive(pn, pn % 2 == 0, 0);
             g1.on_receive(pn, pn % 2 == 0, 0);
-            assert_eq!(g0.next_outgoing(&mut r0).0, false);
-            assert_eq!(g1.next_outgoing(&mut r1).0, true);
+            assert!(!g0.next_outgoing(&mut r0).0);
+            assert!(g1.next_outgoing(&mut r1).0);
         }
     }
 
@@ -205,8 +207,12 @@ mod tests {
     fn per_connection_grease_is_constant() {
         for seed in 0..16 {
             let mut r = Rng::new(seed);
-            let mut g =
-                SpinGenerator::new(SpinRole::Client, SpinPolicy::GreasePerConnection, false, &mut r);
+            let mut g = SpinGenerator::new(
+                SpinRole::Client,
+                SpinPolicy::GreasePerConnection,
+                false,
+                &mut r,
+            );
             let first = g.next_outgoing(&mut r).0;
             for _ in 0..20 {
                 assert_eq!(g.next_outgoing(&mut r).0, first);

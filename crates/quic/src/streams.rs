@@ -7,9 +7,13 @@ use std::collections::BTreeMap;
 /// Sending half of one stream.
 #[derive(Debug, Clone, Default)]
 struct SendStream {
-    /// Bytes queued but not yet packetized.
+    /// Bytes queued for sending. Consumed via `cursor` instead of
+    /// front-drains, which would memmove the unsent remainder on every
+    /// packetized frame.
     pending: Vec<u8>,
-    /// Offset of the first byte in `pending`.
+    /// Bytes of `pending` already packetized.
+    cursor: usize,
+    /// Stream offset of `pending[cursor]`.
     base_offset: u64,
     /// FIN requested by the application.
     fin_queued: bool,
@@ -61,7 +65,7 @@ impl StreamSet {
     /// Whether any stream has data or FIN waiting to be packetized.
     pub fn has_pending(&self) -> bool {
         self.send.values().any(|s| {
-            !s.pending.is_empty() || !s.retransmit.is_empty() || (s.fin_queued && !s.fin_sent)
+            s.pending.len() > s.cursor || !s.retransmit.is_empty() || (s.fin_queued && !s.fin_sent)
         })
     }
 
@@ -89,14 +93,20 @@ impl StreamSet {
                     data,
                 });
             }
-            if s.pending.is_empty() && !(s.fin_queued && !s.fin_sent) {
+            let unsent = s.pending.len() - s.cursor;
+            if unsent == 0 && (!s.fin_queued || s.fin_sent) {
                 continue;
             }
-            let take = s.pending.len().min(max_len);
-            let data: Vec<u8> = s.pending.drain(..take).collect();
+            let take = unsent.min(max_len);
+            let data = s.pending[s.cursor..s.cursor + take].to_vec();
+            s.cursor += take;
             let offset = s.base_offset;
             s.base_offset += take as u64;
-            let fin = s.fin_queued && s.pending.is_empty();
+            let fin = s.fin_queued && s.cursor == s.pending.len();
+            if s.cursor == s.pending.len() {
+                s.pending.clear();
+                s.cursor = 0;
+            }
             if fin {
                 s.fin_sent = true;
             }
@@ -119,20 +129,30 @@ impl StreamSet {
         }
     }
 
-    /// Ingests a received STREAM frame.
-    pub fn on_frame(&mut self, id: u64, offset: u64, data: &[u8], fin: bool) {
+    /// Ingests a received STREAM frame. Takes the frame's payload by
+    /// value: in-order data lands in the segment map without a copy.
+    pub fn on_frame(&mut self, id: u64, offset: u64, data: Vec<u8>, fin: bool) {
         let s = self.recv.entry(id).or_default();
         if fin {
             s.fin_at = Some(offset + data.len() as u64);
         }
+        // In-order fast path (the common case by far): adopt the frame's
+        // allocation as the assembled buffer — no segment-map node, no
+        // byte copy.
+        if !data.is_empty()
+            && offset == s.next_offset
+            && s.assembled.is_empty()
+            && s.segments.is_empty()
+        {
+            s.next_offset += data.len() as u64;
+            s.assembled = data;
+            return;
+        }
         if !data.is_empty() && offset + (data.len() as u64) > s.next_offset {
-            s.segments.insert(offset, data.to_vec());
+            s.segments.insert(offset, data);
         }
         // Assemble the contiguous prefix.
-        loop {
-            let Some((&seg_offset, _)) = s.segments.range(..=s.next_offset).next_back() else {
-                break;
-            };
+        while let Some((&seg_offset, _)) = s.segments.range(..=s.next_offset).next_back() {
             let seg = s.segments.remove(&seg_offset).expect("segment exists");
             let seg_end = seg_offset + seg.len() as u64;
             if seg_end <= s.next_offset {
@@ -228,8 +248,8 @@ mod tests {
     #[test]
     fn in_order_receive_and_read() {
         let mut s = StreamSet::new();
-        s.on_frame(0, 0, b"abc", false);
-        s.on_frame(0, 3, b"def", true);
+        s.on_frame(0, 0, b"abc".to_vec(), false);
+        s.on_frame(0, 3, b"def".to_vec(), true);
         assert_eq!(s.readable(), vec![0]);
         let (data, fin) = s.read(0).unwrap();
         assert_eq!(data, b"abcdef");
@@ -241,9 +261,9 @@ mod tests {
     #[test]
     fn out_of_order_reassembly() {
         let mut s = StreamSet::new();
-        s.on_frame(0, 3, b"def", true);
+        s.on_frame(0, 3, b"def".to_vec(), true);
         assert!(s.read(0).is_none(), "gap: nothing readable yet");
-        s.on_frame(0, 0, b"abc", false);
+        s.on_frame(0, 0, b"abc".to_vec(), false);
         let (data, fin) = s.read(0).unwrap();
         assert_eq!(data, b"abcdef");
         assert!(fin);
@@ -252,9 +272,9 @@ mod tests {
     #[test]
     fn duplicate_and_overlapping_segments() {
         let mut s = StreamSet::new();
-        s.on_frame(0, 0, b"abcd", false);
-        s.on_frame(0, 0, b"abcd", false); // full duplicate
-        s.on_frame(0, 2, b"cdef", true); // overlap
+        s.on_frame(0, 0, b"abcd".to_vec(), false);
+        s.on_frame(0, 0, b"abcd".to_vec(), false); // full duplicate
+        s.on_frame(0, 2, b"cdef".to_vec(), true); // overlap
         let (data, fin) = s.read(0).unwrap();
         assert_eq!(data, b"abcdef");
         assert!(fin);
@@ -263,7 +283,7 @@ mod tests {
     #[test]
     fn fin_without_data_read() {
         let mut s = StreamSet::new();
-        s.on_frame(2, 0, b"", true);
+        s.on_frame(2, 0, b"".to_vec(), true);
         let (data, fin) = s.read(2).unwrap();
         assert!(data.is_empty());
         assert!(fin);
@@ -276,7 +296,7 @@ mod tests {
         s.write(0, b"abcdef", true);
         let f1 = s.next_frame(3).unwrap(); // "abc"
         let _f2 = s.next_frame(3).unwrap(); // "def" + fin
-        // f1 is lost → requeue.
+                                            // f1 is lost → requeue.
         if let Frame::Stream {
             id,
             offset,
@@ -371,7 +391,7 @@ mod tests {
             let total = reference.len() as u64;
             for (i, (off, data)) in pieces.iter().enumerate() {
                 let is_last_piece = *off + data.len() as u64 == total;
-                s.on_frame(0, *off, data, is_last_piece);
+                s.on_frame(0, *off, data.clone(), is_last_piece);
                 let _ = (i, last);
             }
             let (data, fin) = s.read(0).unwrap();

@@ -11,8 +11,8 @@
 //! * every connection produces a [`ConnectionRecord`] holding the §3.3
 //!   qlog extraction (spin observations), the stack's RTT samples, the
 //!   `server:` identification, and the spin classification;
-//! * campaigns run weekly (IPv4) or in selected weeks (IPv6), sharded
-//!   across threads with `crossbeam` — reproducible regardless of thread
+//! * campaigns run weekly (IPv4) or in selected weeks (IPv6), spread
+//!   across scoped worker threads — reproducible regardless of thread
 //!   count because every connection is seeded independently.
 
 pub mod artifacts;
@@ -24,5 +24,5 @@ pub mod record;
 pub use artifacts::{export_binary_stripped, export_qlogs, strip_for_release};
 pub use campaign::{Campaign, CampaignConfig, Scanner};
 pub use longitudinal::{run_longitudinal, DomainWeeks, LongitudinalConfig, LongitudinalResult};
-pub use probe::{probe_connection, NetworkConditions};
+pub use probe::{probe_connection, probe_connection_scratch, NetworkConditions, ProbeScratch};
 pub use record::{ConnectionRecord, ScanOutcome};

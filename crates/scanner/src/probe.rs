@@ -5,8 +5,19 @@ use crate::record::{ConnectionRecord, ScanOutcome};
 use quicspin_core::{GreaseFilter, ObserverConfig, ObserverReport};
 use quicspin_h3::{Request, Response};
 use quicspin_netsim::{Rng, SimDuration};
-use quicspin_quic::{ConnectionLab, LabConfig, ServerProfile, TransportConfig};
+use quicspin_quic::{ConnectionLab, LabConfig, LabScratch, ServerProfile, TransportConfig};
 use quicspin_webpop::{ConnectionPlan, DomainRecord, IpVersion, WebServer};
+
+/// Reusable per-worker probe state.
+///
+/// A campaign worker thread keeps one of these alive across every probe it
+/// runs; the connection lab's event queue, qlog buffers and byte buffers
+/// are then recycled instead of reallocated per connection. A fresh
+/// scratch and a reused one produce identical records.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    lab: LabScratch,
+}
 
 /// Network conditions of the scan path (the part of the path shared by
 /// all measurements from the vantage point).
@@ -44,6 +55,7 @@ impl NetworkConditions {
 
 /// Runs one planned connection; returns the record plus the parsed
 /// response (for redirect following).
+#[allow(clippy::too_many_arguments)]
 pub fn probe_connection(
     domain: &DomainRecord,
     plan: &ConnectionPlan,
@@ -81,10 +93,43 @@ pub fn probe_connection_with_qlog(
     grease: GreaseFilter,
     keep_qlog: bool,
 ) -> (ConnectionRecord, Option<Response>) {
+    probe_connection_scratch(
+        domain,
+        plan,
+        week,
+        version,
+        redirect_depth,
+        conditions,
+        observer,
+        grease,
+        keep_qlog,
+        &mut ProbeScratch::default(),
+    )
+}
+
+/// [`probe_connection_with_qlog`] reusing per-worker scratch storage
+/// across probes (the campaign engine's hot path).
+#[allow(clippy::too_many_arguments)]
+pub fn probe_connection_scratch(
+    domain: &DomainRecord,
+    plan: &ConnectionPlan,
+    week: u32,
+    version: IpVersion,
+    redirect_depth: u32,
+    conditions: &NetworkConditions,
+    observer: ObserverConfig,
+    grease: GreaseFilter,
+    keep_qlog: bool,
+    scratch: &mut ProbeScratch,
+) -> (ConnectionRecord, Option<Response>) {
     // Build the HTTP exchange for this hop.
     let request = Request::get(
         domain.www_name(),
-        if redirect_depth == 0 { "/" } else { "/canonical" },
+        if redirect_depth == 0 {
+            "/"
+        } else {
+            "/canonical"
+        },
     );
     let is_redirect_hop = plan.redirects && redirect_depth == 0;
     let response = if is_redirect_hop {
@@ -93,7 +138,10 @@ pub fn probe_connection_with_qlog(
             format!("https://{}/canonical", domain.www_name()),
         )
     } else {
-        Response::ok(plan.webserver.header_value(), plan.server_profile.total_bytes())
+        Response::ok(
+            plan.webserver.header_value(),
+            plan.server_profile.total_bytes(),
+        )
     };
     // Redirect hops answer with a header-only page (one small chunk),
     // still after the host's processing delay.
@@ -131,42 +179,47 @@ pub fn probe_connection_with_qlog(
         server: server_cfg,
         server_profile,
         link_rate_bytes_per_sec: Some(12_500_000),
-        tap_position: 0.5,
+        // The probe only reads the client's own qlog; nothing consumes tap
+        // records, so the (purely passive) tap stays off.
+        tap_position: None,
         request: request.encode(),
         response_prefix: response.encode_header(),
         max_duration: SimDuration::from_secs(60),
     };
-    let outcome = ConnectionLab::new(lab_cfg).run();
+    let mut outcome = ConnectionLab::new(lab_cfg).run_with_scratch(&mut scratch.lab);
 
     if !outcome.handshake_completed {
-        return (
-            ConnectionRecord {
-                domain_id: domain.id,
-                list: domain.list,
-                org: domain.org,
-                week,
-                version,
-                redirect_depth,
-                outcome: ScanOutcome::HandshakeFailed,
-                host: Some(plan.host),
-                webserver: None,
-                report: None,
-                qlog: keep_qlog.then(|| outcome.client_qlog.clone()),
-            },
-            None,
-        );
+        let qlog = keep_qlog.then(|| std::mem::take(&mut outcome.client_qlog));
+        let record = ConnectionRecord {
+            domain_id: domain.id,
+            list: domain.list,
+            org: domain.org,
+            week,
+            version,
+            redirect_depth,
+            outcome: ScanOutcome::HandshakeFailed,
+            host: Some(plan.host),
+            webserver: None,
+            report: None,
+            qlog,
+        };
+        scratch.lab.reclaim(outcome);
+        return (record, None);
     }
 
     let parsed = Response::parse_header(&outcome.response_data).map(|(r, _)| r);
-    let webserver = parsed
-        .as_ref()
-        .map(|r| WebServer::from_header(&r.server));
+    let webserver = parsed.as_ref().map(|r| WebServer::from_header(&r.server));
     let report = ObserverReport::build(
         &outcome.client_observations(),
-        outcome.client_stack_samples_us.clone(),
+        std::mem::take(&mut outcome.client_stack_samples_us),
         observer,
         grease,
     );
+    let qlog = keep_qlog.then(|| {
+        let mut trace = std::mem::take(&mut outcome.client_qlog);
+        trace.title = domain.www_name();
+        trace
+    });
 
     let record = ConnectionRecord {
         domain_id: domain.id,
@@ -179,12 +232,9 @@ pub fn probe_connection_with_qlog(
         host: Some(plan.host),
         webserver,
         report: Some(report),
-        qlog: keep_qlog.then(|| {
-            let mut trace = outcome.client_qlog.clone();
-            trace.title = domain.www_name();
-            trace
-        }),
+        qlog,
     };
+    scratch.lab.reclaim(outcome);
     (record, parsed)
 }
 
@@ -326,6 +376,36 @@ mod tests {
             return;
         }
         panic!("no FixedZero host found");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_probe() {
+        let pop = population();
+        let mut scratch = ProbeScratch::default();
+        for d in pop.domains().iter().filter(|d| d.quic).take(5) {
+            let plan = pop.plan_connection(d.id, 0, IpVersion::V4, 0).unwrap();
+            let args = |scratch: &mut ProbeScratch| {
+                probe_connection_scratch(
+                    d,
+                    &plan,
+                    0,
+                    IpVersion::V4,
+                    0,
+                    &NetworkConditions::default(),
+                    ObserverConfig::default(),
+                    GreaseFilter::paper(),
+                    true,
+                    scratch,
+                )
+                .0
+            };
+            let fresh = args(&mut ProbeScratch::default());
+            // The scratch carries state over from all previous iterations.
+            let reused = args(&mut scratch);
+            assert_eq!(fresh.outcome, reused.outcome);
+            assert_eq!(fresh.report, reused.report);
+            assert_eq!(fresh.qlog, reused.qlog);
+        }
     }
 
     #[test]

@@ -139,7 +139,10 @@ mod tests {
     fn host_week_state_is_stable() {
         let m = ChurnModel::default();
         for week in 0..20 {
-            assert_eq!(m.host_week_state(12345, week), m.host_week_state(12345, week));
+            assert_eq!(
+                m.host_week_state(12345, week),
+                m.host_week_state(12345, week)
+            );
         }
     }
 

@@ -102,7 +102,10 @@ mod tests {
     fn with_seed_changes_only_seed() {
         let c = PopulationConfig::default().with_seed(42);
         assert_eq!(c.seed, 42);
-        assert_eq!(c.toplist_domains, PopulationConfig::default().toplist_domains);
+        assert_eq!(
+            c.toplist_domains,
+            PopulationConfig::default().toplist_domains
+        );
     }
 
     #[test]

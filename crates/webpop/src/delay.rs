@@ -154,7 +154,11 @@ mod tests {
             let profile = ServiceClass::Medium.sample_server_profile(bytes, &mut rng);
             assert_eq!(profile.total_bytes(), bytes.max(1200) as usize);
             assert!(profile.chunks.len() >= 2 && profile.chunks.len() <= 6);
-            assert_eq!(profile.chunks[0].0, SimDuration::ZERO, "first chunk immediate");
+            assert_eq!(
+                profile.chunks[0].0,
+                SimDuration::ZERO,
+                "first chunk immediate"
+            );
         }
     }
 
@@ -162,11 +166,7 @@ mod tests {
     fn slow_profiles_have_long_gaps() {
         let mut rng = Rng::new(3);
         let profile = ServiceClass::Slow.sample_server_profile(60_000, &mut rng);
-        let total_gap: f64 = profile
-            .chunks
-            .iter()
-            .map(|(g, _)| g.as_millis_f64())
-            .sum();
+        let total_gap: f64 = profile.chunks.iter().map(|(g, _)| g.as_millis_f64()).sum();
         assert!(total_gap > 50.0, "slow chunk gaps sum to {total_gap} ms");
     }
 

@@ -5,7 +5,7 @@ use crate::org::{Org, WebServer};
 use serde::{Deserialize, Serialize};
 
 /// Which target list a domain came from (paper §3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ListKind {
     /// Deduplicated union of Alexa / Umbrella / Majestic / Tranco.
     Toplist,
@@ -106,7 +106,11 @@ mod tests {
         DomainRecord {
             id,
             list,
-            zone_id: if list == ListKind::ZoneComNetOrg { id as u16 % 3 } else { 3 },
+            zone_id: if list == ListKind::ZoneComNetOrg {
+                id as u16 % 3
+            } else {
+                3
+            },
             toplist_sources: 0,
             org: Org::Other,
             resolved_v4: true,

@@ -171,8 +171,7 @@ pub fn tld_for_index(index: u16) -> String {
 fn synthetic_tld(k: usize) -> String {
     // A few recognizable ones first, then numbered.
     const NAMED: [&str; 12] = [
-        "xyz", "info", "online", "top", "shop", "site", "club", "icu", "vip", "store", "app",
-        "dev",
+        "xyz", "info", "online", "top", "shop", "site", "club", "icu", "vip", "store", "app", "dev",
     ];
     if k <= NAMED.len() {
         NAMED[k - 1].to_string()
@@ -255,8 +254,7 @@ mod tests {
         // Tail zones (index >= 3) have non-increasing weights.
         for i in 4..registry.len() {
             assert!(
-                registry.zone(i as u16 - 1).weight >= registry.zone(i as u16).weight
-                    || i <= 4,
+                registry.zone(i as u16 - 1).weight >= registry.zone(i as u16).weight || i <= 4,
                 "tail must decrease at {i}"
             );
         }

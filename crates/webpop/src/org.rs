@@ -208,7 +208,11 @@ pub const ORG_PROFILES: [OrgProfile; 9] = [
         ipv6_rate_toplist: 0.85,
         ipv6_rate_zone: 0.45,
         webserver_mix: (0.0, 0.0, 1.0, 0.0, 0.0),
-        service_mix: ServiceMix { fast: 0.95, medium: 0.05, slow: 0.0 },
+        service_mix: ServiceMix {
+            fast: 0.95,
+            medium: 0.05,
+            slow: 0.0,
+        },
         rtt_median_ms: 14.0,
         rtt_sigma: 0.5,
     },
@@ -226,7 +230,11 @@ pub const ORG_PROFILES: [OrgProfile; 9] = [
         ipv6_rate_toplist: 0.90,
         ipv6_rate_zone: 0.50,
         webserver_mix: (0.0, 0.0, 0.0, 0.0, 0.0),
-        service_mix: ServiceMix { fast: 0.97, medium: 0.03, slow: 0.0 },
+        service_mix: ServiceMix {
+            fast: 0.97,
+            medium: 0.03,
+            slow: 0.0,
+        },
         rtt_median_ms: 12.0,
         rtt_sigma: 0.4,
     },
@@ -244,7 +252,11 @@ pub const ORG_PROFILES: [OrgProfile; 9] = [
         ipv6_rate_toplist: 0.45,
         ipv6_rate_zone: 0.87,
         webserver_mix: (0.89, 0.095, 0.0, 0.01, 0.0),
-        service_mix: ServiceMix { fast: 0.27, medium: 0.13, slow: 0.60 },
+        service_mix: ServiceMix {
+            fast: 0.27,
+            medium: 0.13,
+            slow: 0.60,
+        },
         rtt_median_ms: 28.0,
         rtt_sigma: 0.6,
     },
@@ -262,7 +274,11 @@ pub const ORG_PROFILES: [OrgProfile; 9] = [
         ipv6_rate_toplist: 0.80,
         ipv6_rate_zone: 0.50,
         webserver_mix: (0.0, 0.0, 0.0, 0.0, 0.0),
-        service_mix: ServiceMix { fast: 0.95, medium: 0.05, slow: 0.0 },
+        service_mix: ServiceMix {
+            fast: 0.95,
+            medium: 0.05,
+            slow: 0.0,
+        },
         rtt_median_ms: 15.0,
         rtt_sigma: 0.4,
     },
@@ -280,7 +296,11 @@ pub const ORG_PROFILES: [OrgProfile; 9] = [
         ipv6_rate_toplist: 0.35,
         ipv6_rate_zone: 0.30,
         webserver_mix: (0.72, 0.05, 0.0, 0.10, 0.03),
-        service_mix: ServiceMix { fast: 0.35, medium: 0.20, slow: 0.45 },
+        service_mix: ServiceMix {
+            fast: 0.35,
+            medium: 0.20,
+            slow: 0.45,
+        },
         rtt_median_ms: 22.0,
         rtt_sigma: 0.5,
     },
@@ -298,7 +318,11 @@ pub const ORG_PROFILES: [OrgProfile; 9] = [
         ipv6_rate_toplist: 0.30,
         ipv6_rate_zone: 0.25,
         webserver_mix: (0.85, 0.07, 0.0, 0.02, 0.0),
-        service_mix: ServiceMix { fast: 0.25, medium: 0.18, slow: 0.57 },
+        service_mix: ServiceMix {
+            fast: 0.25,
+            medium: 0.18,
+            slow: 0.57,
+        },
         rtt_median_ms: 105.0,
         rtt_sigma: 0.4,
     },
@@ -316,7 +340,11 @@ pub const ORG_PROFILES: [OrgProfile; 9] = [
         ipv6_rate_toplist: 0.30,
         ipv6_rate_zone: 0.20,
         webserver_mix: (0.84, 0.08, 0.0, 0.02, 0.0),
-        service_mix: ServiceMix { fast: 0.27, medium: 0.18, slow: 0.55 },
+        service_mix: ServiceMix {
+            fast: 0.27,
+            medium: 0.18,
+            slow: 0.55,
+        },
         rtt_median_ms: 110.0,
         rtt_sigma: 0.35,
     },
@@ -334,7 +362,11 @@ pub const ORG_PROFILES: [OrgProfile; 9] = [
         ipv6_rate_toplist: 0.30,
         ipv6_rate_zone: 0.20,
         webserver_mix: (0.86, 0.06, 0.0, 0.02, 0.0),
-        service_mix: ServiceMix { fast: 0.28, medium: 0.20, slow: 0.52 },
+        service_mix: ServiceMix {
+            fast: 0.28,
+            medium: 0.20,
+            slow: 0.52,
+        },
         rtt_median_ms: 112.0,
         rtt_sigma: 0.35,
     },
@@ -352,7 +384,11 @@ pub const ORG_PROFILES: [OrgProfile; 9] = [
         ipv6_rate_toplist: 0.12,
         ipv6_rate_zone: 0.03,
         webserver_mix: (0.60, 0.07, 0.0, 0.12, 0.04),
-        service_mix: ServiceMix { fast: 0.36, medium: 0.12, slow: 0.52 },
+        service_mix: ServiceMix {
+            fast: 0.36,
+            medium: 0.12,
+            slow: 0.52,
+        },
         rtt_median_ms: 45.0,
         rtt_sigma: 0.8,
     },
@@ -401,7 +437,11 @@ mod tests {
             let mix = p.disable_mix.0 + p.disable_mix.1 + p.disable_mix.2;
             assert!(mix <= 1.0, "{:?} disable mix {mix}", p.org);
             let s = p.service_mix;
-            assert!((s.fast + s.medium + s.slow - 1.0).abs() < 1e-9, "{:?}", p.org);
+            assert!(
+                (s.fast + s.medium + s.slow - 1.0).abs() < 1e-9,
+                "{:?}",
+                p.org
+            );
             let w = p.webserver_mix;
             assert!(w.0 + w.1 + w.2 + w.3 + w.4 <= 1.0, "{:?}", p.org);
             assert!(p.ipv4_pooling >= 1 && p.ipv6_pooling >= 1);
@@ -414,15 +454,29 @@ mod tests {
         assert_eq!(profile(Org::Cloudflare).spin_host_rate, 0.0);
         assert_eq!(profile(Org::Fastly).spin_host_rate, 0.0);
         assert!(profile(Org::Google).spin_host_rate < 0.01);
-        for org in [Org::Hostinger, Org::Ovh, Org::A2Hosting, Org::SingleHop, Org::ServerCentral] {
+        for org in [
+            Org::Hostinger,
+            Org::Ovh,
+            Org::A2Hosting,
+            Org::SingleHop,
+            Org::ServerCentral,
+        ] {
             assert!(profile(org).spin_host_rate > 0.5, "{org:?}");
         }
     }
 
     #[test]
     fn hosters_use_litespeed() {
-        for org in [Org::Hostinger, Org::A2Hosting, Org::SingleHop, Org::ServerCentral] {
-            assert!(profile(org).webserver_mix.0 > 0.8, "{org:?} LiteSpeed share");
+        for org in [
+            Org::Hostinger,
+            Org::A2Hosting,
+            Org::SingleHop,
+            Org::ServerCentral,
+        ] {
+            assert!(
+                profile(org).webserver_mix.0 > 0.8,
+                "{org:?} LiteSpeed share"
+            );
         }
     }
 
@@ -439,7 +493,10 @@ mod tests {
         ] {
             assert_eq!(WebServer::from_header(ws.header_value()), ws);
         }
-        assert_eq!(WebServer::from_header("unknown-thing"), WebServer::OtherServer);
+        assert_eq!(
+            WebServer::from_header("unknown-thing"),
+            WebServer::OtherServer
+        );
     }
 
     #[test]

@@ -1,12 +1,10 @@
 //! Population generation and per-connection planning.
 
 use crate::churn::ChurnModel;
-use crate::config::{
-    PopulationConfig, REDIRECT_RATE, TOPLIST_RESOLVE_RATE, ZONE_RESOLVE_RATE,
-};
-use crate::lists::{sample_source_membership, ZoneRegistry};
+use crate::config::{PopulationConfig, REDIRECT_RATE, TOPLIST_RESOLVE_RATE, ZONE_RESOLVE_RATE};
 use crate::delay::{RttProfile, ServiceClass};
 use crate::domain::{DomainRecord, HostAddr, IpVersion, ListKind};
+use crate::lists::{sample_source_membership, ZoneRegistry};
 use crate::org::{Org, OrgProfile, WebServer, ALL_ORGS, ORG_PROFILES};
 use quicspin_netsim::Rng;
 use quicspin_quic::{ServerProfile, SpinPolicy};
@@ -181,9 +179,8 @@ impl Population {
             });
 
             if d.ipv6.is_some() {
-                let v6_pool = (v6_counts[d.org.index()][li]
-                    / u64::from(profile.ipv6_pooling.max(1)))
-                .max(1);
+                let v6_pool =
+                    (v6_counts[d.org.index()][li] / u64::from(profile.ipv6_pooling.max(1))).max(1);
                 let v6_index = pool_base + rng.next_below(v6_pool);
                 d.ipv6 = Some(HostAddr {
                     version: IpVersion::V6,
@@ -630,7 +627,11 @@ mod tests {
         let mut v6_hosts = HashSet::new();
         let mut v4_domains = 0;
         let mut v6_domains = 0;
-        for d in p.domains().iter().filter(|d| d.quic && d.org == Org::Hostinger) {
+        for d in p
+            .domains()
+            .iter()
+            .filter(|d| d.quic && d.org == Org::Hostinger)
+        {
             v4_hosts.insert(d.ipv4.unwrap());
             v4_domains += 1;
             if let Some(v6) = d.ipv6 {

@@ -94,6 +94,14 @@ impl Writer {
         }
     }
 
+    /// Creates a writer that reuses `buf`'s allocation: contents are
+    /// cleared and at least `min_capacity` bytes are ensured.
+    pub fn from_vec(mut buf: Vec<u8>, min_capacity: usize) -> Self {
+        buf.clear();
+        buf.reserve(min_capacity);
+        Writer { buf }
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -122,6 +130,12 @@ impl Writer {
     /// Appends a byte slice verbatim.
     pub fn write_bytes(&mut self, v: &[u8]) {
         self.buf.extend_from_slice(v);
+    }
+
+    /// Overwrites a previously written big-endian u16 at byte offset `at`
+    /// (for back-patching a length field after the payload is known).
+    pub fn patch_u16(&mut self, at: usize, v: u16) {
+        self.buf[at..at + 2].copy_from_slice(&v.to_be_bytes());
     }
 
     /// Consumes the writer, returning the accumulated bytes.

@@ -200,11 +200,9 @@ impl Frame {
                 for _ in 0..range_count {
                     let gap = varint::read(r, "ack gap")?;
                     let len = varint::read(r, "ack range len")?;
-                    let end = smallest
-                        .checked_sub(gap + 2)
-                        .ok_or(WireError::Malformed {
-                            context: "ack gap underflow",
-                        })?;
+                    let end = smallest.checked_sub(gap + 2).ok_or(WireError::Malformed {
+                        context: "ack gap underflow",
+                    })?;
                     let start = end.checked_sub(len).ok_or(WireError::Malformed {
                         context: "ack range underflow",
                     })?;
@@ -261,7 +259,8 @@ impl Frame {
             0x1c | 0x1d => {
                 let error_code = varint::read(r, "close code")?;
                 let len = varint::read(r, "close reason len")? as usize;
-                let reason = String::from_utf8_lossy(r.read_bytes(len, "close reason")?).into_owned();
+                let reason =
+                    String::from_utf8_lossy(r.read_bytes(len, "close reason")?).into_owned();
                 Ok(Frame::ConnectionClose { error_code, reason })
             }
             0x1e => Ok(Frame::HandshakeDone),
@@ -272,7 +271,9 @@ impl Frame {
     /// Decodes all frames in a packet payload.
     pub fn decode_all(payload: &[u8]) -> Result<Vec<Frame>, WireError> {
         let mut r = Reader::new(payload);
-        let mut frames = Vec::new();
+        // Typical packets carry 1-3 frames; start big enough to avoid the
+        // early growth reallocations on the receive hot path.
+        let mut frames = Vec::with_capacity(4);
         while !r.is_empty() {
             frames.push(Frame::decode(&mut r)?);
         }
@@ -391,19 +392,33 @@ mod tests {
         let mut w = Writer::new();
         varint::write(&mut w, 0x42);
         let mut r = Reader::new(w.as_slice());
-        assert_eq!(Frame::decode(&mut r), Err(WireError::UnknownFrameType(0x42)));
+        assert_eq!(
+            Frame::decode(&mut r),
+            Err(WireError::UnknownFrameType(0x42))
+        );
     }
 
     #[test]
     fn ack_eliciting_classification() {
         assert!(Frame::Ping.is_ack_eliciting());
-        assert!(Frame::Crypto { offset: 0, data: vec![] }.is_ack_eliciting());
+        assert!(Frame::Crypto {
+            offset: 0,
+            data: vec![]
+        }
+        .is_ack_eliciting());
         assert!(Frame::HandshakeDone.is_ack_eliciting());
         assert!(!Frame::Padding { len: 1 }.is_ack_eliciting());
-        assert!(!Frame::Ack { largest: 0, delay_us: 0, ranges: vec![AckRange::new(0, 0)] }
-            .is_ack_eliciting());
-        assert!(!Frame::ConnectionClose { error_code: 0, reason: String::new() }
-            .is_ack_eliciting());
+        assert!(!Frame::Ack {
+            largest: 0,
+            delay_us: 0,
+            ranges: vec![AckRange::new(0, 0)]
+        }
+        .is_ack_eliciting());
+        assert!(!Frame::ConnectionClose {
+            error_code: 0,
+            reason: String::new()
+        }
+        .is_ack_eliciting());
     }
 
     #[test]

@@ -81,16 +81,28 @@ impl Packet {
     /// and uses the UDP datagram boundary for short headers; the simulator
     /// transports exactly one packet per datagram, so this is equivalent.
     pub fn encode(&self) -> Vec<u8> {
-        let mut payload = Writer::new();
-        for frame in &self.frames {
-            frame.encode(&mut payload);
-        }
-        let payload = payload.into_bytes();
-        let mut w = Writer::with_capacity(payload.len() + 32);
+        self.encode_into(Vec::new())
+    }
+
+    /// Encodes the packet into `buf` (cleared first), reusing its
+    /// allocation — senders can recycle delivered datagram buffers
+    /// instead of allocating per packet.
+    pub fn encode_into(&self, buf: Vec<u8>) -> Vec<u8> {
+        // Single pass into one MTU-sized buffer: header, a length
+        // placeholder, then the frames, back-patching the length. Avoids
+        // the staging buffer (and its growth reallocations) a
+        // payload-first encode would need.
+        let mut w = Writer::from_vec(buf, 1500);
         self.header.encode(&mut w);
-        assert!(payload.len() <= usize::from(u16::MAX), "payload too large");
-        w.write_u16(payload.len() as u16);
-        w.write_bytes(&payload);
+        let len_at = w.len();
+        w.write_u16(0);
+        let payload_start = w.len();
+        for frame in &self.frames {
+            frame.encode(&mut w);
+        }
+        let payload_len = w.len() - payload_start;
+        assert!(payload_len <= usize::from(u16::MAX), "payload too large");
+        w.patch_u16(len_at, payload_len as u16);
         w.into_bytes()
     }
 

@@ -15,7 +15,10 @@ fn main() {
         toplist_domains: 200,
         zone_domains: 3_000,
     });
-    eprintln!("scanning {} domains with qlog capture ...", population.len());
+    eprintln!(
+        "scanning {} domains with qlog capture ...",
+        population.len()
+    );
     let campaign = Scanner::new(&population).run_campaign(&CampaignConfig {
         keep_qlogs: true,
         ..CampaignConfig::default()
@@ -24,19 +27,27 @@ fn main() {
     let qlogs = export_qlogs(&campaign);
     let full_json = qlogs.to_json().expect("serializable");
 
-    let stripped_json = quicspin::qlog::QlogFile::new(
-        qlogs.traces.iter().map(strip_for_release).collect(),
-    )
-    .to_json()
-    .expect("serializable");
+    let stripped_json =
+        quicspin::qlog::QlogFile::new(qlogs.traces.iter().map(strip_for_release).collect())
+            .to_json()
+            .expect("serializable");
 
     let binary = export_binary_stripped(&campaign);
     let binary_bytes: usize = binary.iter().map(Vec::len).sum();
 
     println!("connections with retained qlogs : {}", qlogs.traces.len());
-    println!("full JSON release               : {:>9} bytes", full_json.len());
-    println!("stripped JSON release           : {:>9} bytes", stripped_json.len());
-    println!("stripped compact binary release : {:>9} bytes", binary_bytes);
+    println!(
+        "full JSON release               : {:>9} bytes",
+        full_json.len()
+    );
+    println!(
+        "stripped JSON release           : {:>9} bytes",
+        stripped_json.len()
+    );
+    println!(
+        "stripped compact binary release : {:>9} bytes",
+        binary_bytes
+    );
     println!(
         "compression vs full JSON        : {:.1}x",
         full_json.len() as f64 / binary_bytes.max(1) as f64

@@ -27,7 +27,10 @@ fn main() {
     eprintln!("{} records", v4.len());
 
     let table1 = OverviewTable::from_campaign(&v4);
-    println!("{}", render::render_overview("Table 1: IPv4 overview", &table1));
+    println!(
+        "{}",
+        render::render_overview("Table 1: IPv4 overview", &table1)
+    );
 
     let table2 = OrgTable::from_campaign(&v4);
     println!("{}", render::render_orgs(&table2));
@@ -59,5 +62,8 @@ fn main() {
         ..CampaignConfig::default()
     });
     let table4 = OverviewTable::from_campaign(&v6);
-    println!("{}", render::render_overview("Table 4: IPv6 overview", &table4));
+    println!(
+        "{}",
+        render::render_overview("Table 4: IPv6 overview", &table4)
+    );
 }

@@ -21,7 +21,7 @@ fn main() {
     for tap_position in [0.1, 0.5, 0.9] {
         let mut lab = ConnectionLab::new(LabConfig {
             path_rtt_ms: 80.0,
-            tap_position,
+            tap_position: Some(tap_position),
             seed: 11,
             ..LabConfig::default()
         });

@@ -36,7 +36,12 @@ fn main() {
     // What the client's own qlog recorded (the paper's §3.3 extraction).
     println!("\nreceived 1-RTT packets (time, pn, spin):");
     for (t, pn, spin) in outcome.client_qlog.spin_observations() {
-        println!("  {:>8.1} ms  pn={:<3} spin={}", t as f64 / 1000.0, pn, u8::from(spin));
+        println!(
+            "  {:>8.1} ms  pn={:<3} spin={}",
+            t as f64 / 1000.0,
+            pn,
+            u8::from(spin)
+        );
     }
 
     // The passive observer's verdict.

@@ -61,10 +61,7 @@ fn main() {
 
     let re = &figures.reordering;
     println!("Reordering impact (§5.2):");
-    println!(
-        "  connections with spin activity : {}",
-        re.connections
-    );
+    println!("  connections with spin activity : {}", re.connections);
     println!(
         "  R/S results differ             : {} ({:.2}%)",
         re.differing,

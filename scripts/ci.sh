@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, build, tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q --workspace

@@ -29,7 +29,11 @@ fn full_pipeline_reproduces_the_papers_shapes() {
     // ---- Table 1 shapes -------------------------------------------------
     let t1 = OverviewTable::from_campaign(&v4);
     // ~85 % of zone domains resolve, ~71 % of toplist domains.
-    assert!((t1.czds.resolved_pct() - 84.9).abs() < 3.0, "{}", t1.czds.resolved_pct());
+    assert!(
+        (t1.czds.resolved_pct() - 84.9).abs() < 3.0,
+        "{}",
+        t1.czds.resolved_pct()
+    );
     assert!((t1.toplists.resolved_pct() - 70.9).abs() < 5.0);
     // ~12 % of resolved zone domains speak QUIC; toplists are far denser.
     assert!((t1.czds.quic_pct_of_resolved() - 11.5).abs() < 3.0);
@@ -77,7 +81,10 @@ fn full_pipeline_reproduces_the_papers_shapes() {
     // ---- §4.2 web servers -----------------------------------------------
     let servers = WebServerShares::from_campaign(&v4);
     let litespeed = servers.spin_share(WebServer::LiteSpeed);
-    assert!(litespeed > 0.6, "LiteSpeed carries the bulk: {litespeed:.2}");
+    assert!(
+        litespeed > 0.6,
+        "LiteSpeed carries the bulk: {litespeed:.2}"
+    );
     assert_eq!(servers.spin_share(WebServer::CloudflareFrontend), 0.0);
 
     // ---- Figures 3/4 shapes ----------------------------------------------

@@ -79,8 +79,7 @@ fn per_connection_grease_looks_like_fixed_value() {
     for seed in 0..8 {
         let out = lab(LabConfig {
             seed,
-            server: TransportConfig::default()
-                .with_spin_policy(SpinPolicy::GreasePerConnection),
+            server: TransportConfig::default().with_spin_policy(SpinPolicy::GreasePerConnection),
             ..LabConfig::default()
         });
         let report = out.observer_report();

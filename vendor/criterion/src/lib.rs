@@ -1,0 +1,287 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Throughput`, `criterion_group!`
+//! (both the simple and `config = ...` forms) and `criterion_main!` — with
+//! a plain wall-clock harness: a warm-up pass sizes the batch, then
+//! `sample_size` timed batches report mean/min/max per iteration plus
+//! throughput when configured. No statistics beyond that, no HTML reports,
+//! no comparison to saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Per-element/byte scaling for reported rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Harness configuration + entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            name,
+            None,
+            self.sample_size,
+            self.warm_up,
+            self.measurement,
+            f,
+        );
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets throughput scaling for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(
+            &full,
+            self.throughput,
+            self.sample_size,
+            self.warm_up,
+            self.measurement,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (formatting no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: find an iteration count whose batch takes a measurable slice
+    // of the budget.
+    let mut iters: u64 = 1;
+    let warm_start = Instant::now();
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b
+            .elapsed
+            .checked_div(iters as u32)
+            .unwrap_or(Duration::ZERO);
+        if warm_start.elapsed() >= warm_up || b.elapsed >= warm_up / 4 {
+            break per;
+        }
+        iters = iters.saturating_mul(2);
+    };
+    // Size batches so `sample_size` samples fit the measurement budget.
+    let budget_per_sample = measurement / sample_size as u32;
+    let batch = if per_iter.is_zero() {
+        iters
+    } else {
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u128::from(u64::MAX))
+            as u64
+    };
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / batch as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let min = samples_ns.first().copied().unwrap_or(0.0);
+    let max = samples_ns.last().copied().unwrap_or(0.0);
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+
+    let rate = throughput.map(|t| {
+        let (n, unit) = match t {
+            Throughput::Bytes(n) => (n, "B"),
+            Throughput::Elements(n) => (n, "elem"),
+        };
+        let per_sec = n as f64 * 1e9 / mean.max(f64::MIN_POSITIVE);
+        format!("  {} {unit}/s", format_si(per_sec))
+    });
+    println!(
+        "{name:<50} time: [{} {} {}]{}",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} K", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Declares a benchmark group: simple form `criterion_group!(name, fn...)`
+/// or the config form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        let mut c = Criterion::default().sample_size(2);
+        c.warm_up = Duration::from_millis(1);
+        c.measurement = Duration::from_millis(4);
+        c
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = quick();
+        c.bench_function("smoke/add", |b| b.iter(|| 1u64 + 1));
+    }
+
+    #[test]
+    fn group_with_throughput_runs() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(8));
+        g.sample_size(2);
+        g.bench_function("sum", |b| b.iter(|| (0..8u64).sum::<u64>()));
+        g.finish();
+    }
+}

@@ -1,0 +1,441 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Runs each property as a fixed number of deterministic random cases
+//! (seeded from the test's name), instead of real proptest's adaptive
+//! generation and shrinking. Supports the subset this workspace uses:
+//!
+//! - `proptest::proptest! { #[test] fn name(x in strategy, ...) { body } }`
+//! - integer/float `Range` / `RangeInclusive` strategies,
+//! - `proptest::prelude::any::<T>()` for primitives,
+//! - `proptest::collection::vec` / `btree_set`,
+//! - tuple strategies,
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+//!
+//! No shrinking: a failing case panics with the sampled inputs' debug
+//! representation left to the assertion message.
+
+use std::marker::PhantomData;
+
+/// Number of deterministic cases run per property.
+pub const CASES: u32 = 64;
+
+/// Outcome of a single property case body.
+pub enum TestCaseError {
+    /// `prop_assume!` failed: skip this case.
+    Reject,
+    /// `prop_assert!`-style failure: fail the test.
+    Fail(String),
+}
+
+/// Deterministic RNG (splitmix64) for case generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary byte string (the test name).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Per-test state handed to the `proptest!` expansion.
+pub struct TestRunner {
+    /// Case generator.
+    pub rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner seeded from the test name.
+    pub fn new(name: &str) -> Self {
+        TestRunner {
+            rng: TestRng::from_name(name),
+        }
+    }
+}
+
+/// Generates values of `Self::Value` from an RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                ((self.start as i128) + off) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128) - (start as i128) + 1;
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                ((start as i128) + off) as $t
+            }
+        }
+    )+};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let f = rng.next_f64() as $t;
+                self.start + f * (self.end - self.start)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                let f = rng.next_f64() as $t;
+                start + f * (end - start)
+            }
+        }
+    )+};
+}
+impl_float_range!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident : $idx:tt),+);)+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+/// Types with a default "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`prelude::any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `proptest::prelude` — just `any` here.
+pub mod prelude {
+    use super::{Any, Arbitrary};
+    use std::marker::PhantomData;
+
+    /// Uniform strategy over all values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies: `vec` and `btree_set`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Collection size bounds; `From` impls only exist for `usize` ranges,
+    /// so unsuffixed literals like `1..200` infer as `usize` (mirroring
+    /// real proptest's `Into<SizeRange>` parameters).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            let span = self.hi_inclusive - self.lo + 1;
+            self.lo + (rng.next_u64() as usize) % span
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with a sampled length.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet<S::Value>`; duplicates collapse, so the
+    /// set size is at most the sampled length (matching real proptest's
+    /// "size is a target" semantics loosely).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// `proptest::collection::btree_set(element, size)`.
+    pub fn btree_set<S>(element: S, len: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.sample(rng);
+            let mut out = BTreeSet::new();
+            // Retry a bounded number of times so minimum sizes ≥ 1 hold
+            // even when early draws collide.
+            let mut attempts = 0;
+            while out.len() < n && attempts < n * 8 + 8 {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Defines sampling-based property tests.
+///
+/// Each `#[test] fn name(x in strategy, ...) { body }` becomes a normal
+/// `#[test]` running [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident ( $($params:tt)* ) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::TestRunner::new(stringify!($name));
+                let mut rejected: u32 = 0;
+                for _case in 0..$crate::CASES {
+                    $crate::__proptest_bindings!(&mut runner.rng; $($params)*);
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                            rejected += 1;
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {} failed: {}", _case, msg);
+                        }
+                    }
+                }
+                assert!(
+                    rejected < $crate::CASES,
+                    "proptest: every generated case was rejected by prop_assume!"
+                );
+            }
+        )+
+    };
+}
+
+/// Expands a `proptest!` parameter list (`x in strategy` or `x: Type`,
+/// comma-separated, optional trailing comma) into `let` bindings sampled
+/// from `$rng`. Internal tt-muncher.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ($rng:expr;) => {};
+    ($rng:expr; $pat:ident in $strat:expr) => {
+        let $pat = $crate::Strategy::sample(&($strat), $rng);
+    };
+    ($rng:expr; $pat:ident in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::sample(&($strat), $rng);
+        $crate::__proptest_bindings!($rng; $($rest)*);
+    };
+    ($rng:expr; $pat:ident : $ty:ty) => {
+        let $pat: $ty = $crate::Arbitrary::arbitrary($rng);
+    };
+    ($rng:expr; $pat:ident : $ty:ty, $($rest:tt)*) => {
+        let $pat: $ty = $crate::Arbitrary::arbitrary($rng);
+        $crate::__proptest_bindings!($rng; $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (fails the case, not the
+/// whole process, so the harness can report the case number).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    crate::proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 3u64..10,
+            b in 0usize..=4,
+            f in -1.5f64..1.5,
+        ) {
+            crate::prop_assert!((3..10).contains(&a));
+            crate::prop_assert!(b <= 4);
+            crate::prop_assert!((-1.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            xs in crate::collection::vec(0u64..100, 2..6),
+            set in crate::collection::btree_set(0u64..1000, 1..5),
+        ) {
+            crate::prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            crate::prop_assert!(!set.is_empty());
+        }
+
+        #[test]
+        fn tuples_and_any(
+            pair in (0u64..10, 5u64..9),
+            flag in crate::prelude::any::<bool>(),
+        ) {
+            crate::prop_assume!(pair.0 != 9);
+            crate::prop_assert!(pair.1 >= 5);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

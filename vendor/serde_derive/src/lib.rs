@@ -1,0 +1,570 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stand-in.
+//!
+//! The build environment has no crates.io access, so this macro parses the
+//! item's `TokenStream` directly (no `syn`/`quote`) and emits the impl as a
+//! source string. It supports exactly the shapes this workspace derives:
+//!
+//! - named-field structs, with field attrs `skip_serializing_if = "..."`,
+//!   `default`, and `flatten`;
+//! - unit-only enums, serialized as strings;
+//! - internally tagged enums (`#[serde(tag = "...")]`) with unit and
+//!   struct variants;
+//! - externally tagged enums with unit and struct variants.
+//!
+//! Container attr `rename_all = "snake_case"` applies to variant names.
+//! All other attributes (`#[doc]`, `#[default]`, ...) are ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip_if: Option<String>,
+    default: bool,
+    flatten: bool,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    snake_case: bool,
+    tag: Option<String>,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (to-`Value` rendering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (attrs, item) = parse_item(input);
+    let out = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants, &attrs),
+    };
+    out.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (from-`Value` reconstruction).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (attrs, item) = parse_item(input);
+    let out = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants, &attrs),
+    };
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (ContainerAttrs, Item) {
+    let mut iter: TokenIter = input.into_iter().peekable();
+    let mut cattrs = ContainerAttrs::default();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    for (key, value) in parse_serde_attr(g.stream()) {
+                        match key.as_str() {
+                            "rename_all" => {
+                                cattrs.snake_case = value.as_deref() == Some("snake_case");
+                            }
+                            "tag" => cattrs.tag = value,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut iter);
+                let body = expect_brace(&mut iter);
+                let fields = parse_fields(body.stream());
+                return (cattrs, Item::Struct { name, fields });
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut iter);
+                let body = expect_brace(&mut iter);
+                let variants = parse_variants(body.stream());
+                return (cattrs, Item::Enum { name, variants });
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: expected struct or enum"),
+        }
+    }
+}
+
+/// Parses one `#[...]` attr group; yields `(key, value)` pairs for
+/// `#[serde(...)]`, nothing for any other attribute.
+fn parse_serde_attr(stream: TokenStream) -> Vec<(String, Option<String>)> {
+    let mut iter: TokenIter = stream.into_iter().peekable();
+    let mut out = Vec::new();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return out,
+    }
+    let Some(TokenTree::Group(args)) = iter.next() else {
+        return out;
+    };
+    let mut args: TokenIter = args.stream().into_iter().peekable();
+    while let Some(tt) = args.next() {
+        let TokenTree::Ident(key) = tt else { continue };
+        let mut value = None;
+        if matches!(args.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            args.next();
+            if let Some(TokenTree::Literal(lit)) = args.next() {
+                value = Some(strip_quotes(&lit.to_string()));
+            }
+        }
+        out.push((key.to_string(), value));
+        if matches!(args.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            args.next();
+        }
+    }
+    out
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter: TokenIter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let mut attrs = FieldAttrs::default();
+        // Leading attributes (docs, serde, ...).
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.next() {
+                for (key, value) in parse_serde_attr(g.stream()) {
+                    match key.as_str() {
+                        "skip_serializing_if" => attrs.skip_if = value,
+                        "default" => attrs.default = true,
+                        "flatten" => attrs.flatten = true,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        // `:` then the type, which we skip (tracking angle-bracket depth so
+        // commas inside generics don't end the field early).
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        let mut depth: i32 = 0;
+        while let Some(tt) = iter.peek() {
+            if let TokenTree::Punct(p) = tt {
+                let c = p.as_char();
+                if c == ',' && depth == 0 {
+                    break;
+                }
+                if c == '<' {
+                    depth += 1;
+                }
+                if c == '>' {
+                    depth -= 1;
+                }
+            }
+            iter.next();
+        }
+        iter.next(); // the comma, if present
+        fields.push(Field {
+            name: name.to_string(),
+            attrs,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter: TokenIter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        // Skip attributes (`#[default]`, docs, ...).
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive: tuple enum variants are not supported")
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+fn expect_ident(iter: &mut TokenIter) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected identifier, got {other:?}"),
+    }
+}
+
+fn expect_brace(iter: &mut TokenIter) -> proc_macro::Group {
+    loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => return g,
+            Some(_) => {}
+            None => panic!("serde_derive: expected braced body"),
+        }
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn variant_key(name: &str, attrs: &ContainerAttrs) -> String {
+    if attrs.snake_case {
+        snake_case(name)
+    } else {
+        name.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+/// One `obj.push(...)` statement for a field, honoring skip/flatten.
+/// `expr` is how the field value is reached (`&self.f` or a bound `f`).
+fn push_field_ser(out: &mut String, field: &Field, expr: &str) {
+    let name = &field.name;
+    if field.attrs.flatten {
+        out.push_str(&format!(
+            "match ::serde::Serialize::to_value({expr}) {{\n\
+             ::serde::Value::Object(inner) => obj.extend(inner),\n\
+             other => obj.push((\"{name}\".to_string(), other)),\n\
+             }}\n"
+        ));
+        return;
+    }
+    let push =
+        format!("obj.push((\"{name}\".to_string(), ::serde::Serialize::to_value({expr})));\n");
+    if let Some(pred) = &field.attrs.skip_if {
+        out.push_str(&format!("if !({pred}({expr})) {{ {push} }}\n"));
+    } else {
+        out.push_str(&push);
+    }
+}
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    body.push_str(
+        "let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for field in fields {
+        push_field_ser(&mut body, field, &format!("&self.{}", field.name));
+    }
+    body.push_str("::serde::Value::Object(obj)\n");
+    wrap_serialize(name, &body)
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant], attrs: &ContainerAttrs) -> String {
+    let all_unit = variants.iter().all(|v| matches!(v.kind, VariantKind::Unit));
+    let mut body = String::from("match self {\n");
+    for variant in variants {
+        let vname = &variant.name;
+        let key = variant_key(vname, attrs);
+        match (&variant.kind, &attrs.tag) {
+            (VariantKind::Unit, None) if all_unit => {
+                body.push_str(&format!(
+                    "{name}::{vname} => ::serde::Value::Str(\"{key}\".to_string()),\n"
+                ));
+            }
+            (VariantKind::Unit, None) => {
+                // Externally tagged enum with some data variants: unit
+                // variants still serialize as bare strings (serde's rule).
+                body.push_str(&format!(
+                    "{name}::{vname} => ::serde::Value::Str(\"{key}\".to_string()),\n"
+                ));
+            }
+            (VariantKind::Unit, Some(tag)) => {
+                body.push_str(&format!(
+                    "{name}::{vname} => ::serde::Value::Object(vec![(\"{tag}\".to_string(), \
+                     ::serde::Value::Str(\"{key}\".to_string()))]),\n"
+                ));
+            }
+            (VariantKind::Struct(fields), tag) => {
+                let bindings = fields
+                    .iter()
+                    .map(|f| f.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                body.push_str(&format!("{name}::{vname} {{ {bindings} }} => {{\n"));
+                body.push_str(
+                    "let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                if let Some(tag) = tag {
+                    body.push_str(&format!(
+                        "obj.push((\"{tag}\".to_string(), \
+                         ::serde::Value::Str(\"{key}\".to_string())));\n"
+                    ));
+                }
+                for field in fields {
+                    push_field_ser(&mut body, field, &field.name);
+                }
+                if tag.is_some() {
+                    body.push_str("::serde::Value::Object(obj)\n");
+                } else {
+                    body.push_str(&format!(
+                        "::serde::Value::Object(vec![(\"{key}\".to_string(), \
+                         ::serde::Value::Object(obj))])\n"
+                    ));
+                }
+                body.push_str("}\n");
+            }
+        }
+    }
+    body.push_str("}\n");
+    wrap_serialize(name, &body)
+}
+
+fn wrap_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Expression reconstructing one field from `entries` (or the whole value
+/// `v` for flattened fields).
+fn field_de_expr(field: &Field, ty_name: &str) -> String {
+    let name = &field.name;
+    if field.attrs.flatten {
+        return "::serde::Deserialize::from_value(v)?".to_string();
+    }
+    let on_missing = if field.attrs.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::DeError::missing(\"{name}\", \"{ty_name}\"))"
+        )
+    };
+    format!(
+        "match ::serde::__find(entries, \"{name}\") {{\n\
+         ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+         ::std::option::Option::None => {on_missing},\n\
+         }}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    body.push_str(&format!(
+        "let entries = v.as_object().ok_or_else(|| \
+         ::serde::DeError::expected(\"object\", \"{name}\"))?;\n"
+    ));
+    body.push_str("let _ = entries;\n");
+    body.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+    for field in fields {
+        body.push_str(&format!(
+            "{}: {},\n",
+            field.name,
+            field_de_expr(field, name)
+        ));
+    }
+    body.push_str("})\n");
+    wrap_deserialize(name, &body)
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant], attrs: &ContainerAttrs) -> String {
+    let all_unit = variants.iter().all(|v| matches!(v.kind, VariantKind::Unit));
+    let mut body = String::new();
+    if let Some(tag) = &attrs.tag {
+        // Internally tagged: look up the tag key, then per-variant fields
+        // from the same object.
+        body.push_str(&format!(
+            "let entries = v.as_object().ok_or_else(|| \
+             ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+             let tag = ::serde::__find(entries, \"{tag}\")\
+             .and_then(|t| t.as_str())\
+             .ok_or_else(|| ::serde::DeError::missing(\"{tag}\", \"{name}\"))?;\n\
+             match tag {{\n"
+        ));
+        for variant in variants {
+            let vname = &variant.name;
+            let key = variant_key(vname, attrs);
+            match &variant.kind {
+                VariantKind::Unit => {
+                    body.push_str(&format!(
+                        "\"{key}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                VariantKind::Struct(fields) => {
+                    body.push_str(&format!(
+                        "\"{key}\" => ::std::result::Result::Ok({name}::{vname} {{\n"
+                    ));
+                    for field in fields {
+                        body.push_str(&format!(
+                            "{}: {},\n",
+                            field.name,
+                            field_de_expr(field, name)
+                        ));
+                    }
+                    body.push_str("}),\n");
+                }
+            }
+        }
+        body.push_str(&format!(
+            "other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n}}\n"
+        ));
+    } else if all_unit {
+        body.push_str(&format!(
+            "let s = v.as_str().ok_or_else(|| \
+             ::serde::DeError::expected(\"string\", \"{name}\"))?;\n\
+             match s {{\n"
+        ));
+        for variant in variants {
+            let vname = &variant.name;
+            let key = variant_key(vname, attrs);
+            body.push_str(&format!(
+                "\"{key}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+            ));
+        }
+        body.push_str(&format!(
+            "other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n}}\n"
+        ));
+    } else {
+        // Externally tagged: unit variants arrive as strings, data variants
+        // as single-key objects.
+        body.push_str("if let ::std::option::Option::Some(s) = v.as_str() {\n");
+        body.push_str("return match s {\n");
+        for variant in variants {
+            if matches!(variant.kind, VariantKind::Unit) {
+                let vname = &variant.name;
+                let key = variant_key(vname, attrs);
+                body.push_str(&format!(
+                    "\"{key}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+        }
+        body.push_str(&format!(
+            "other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n}};\n}}\n"
+        ));
+        body.push_str(&format!(
+            "let outer = v.as_object().ok_or_else(|| \
+             ::serde::DeError::expected(\"string or object\", \"{name}\"))?;\n\
+             let (variant_key, inner) = outer.first().ok_or_else(|| \
+             ::serde::DeError::expected(\"single-key object\", \"{name}\"))?;\n\
+             match variant_key.as_str() {{\n"
+        ));
+        for variant in variants {
+            let VariantKind::Struct(fields) = &variant.kind else {
+                continue;
+            };
+            let vname = &variant.name;
+            let key = variant_key(vname, attrs);
+            body.push_str(&format!(
+                "\"{key}\" => {{\n\
+                 let entries = inner.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                 let _ = entries;\n\
+                 ::std::result::Result::Ok({name}::{vname} {{\n"
+            ));
+            for field in fields {
+                body.push_str(&format!(
+                    "{}: {},\n",
+                    field.name,
+                    field_de_expr(field, name)
+                ));
+            }
+            body.push_str("})\n}\n");
+        }
+        body.push_str(&format!(
+            "other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n}}\n"
+        ));
+    }
+    wrap_deserialize(name, &body)
+}
+
+fn wrap_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n\
+         let _ = v;\n{body}}}\n}}\n"
+    )
+}
