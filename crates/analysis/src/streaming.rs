@@ -42,6 +42,9 @@ pub struct CampaignAggregates {
     pub records: u64,
     /// Records with an established connection.
     pub established: u64,
+    /// Records whose probe errored (handshake failure or unreachable
+    /// host) rather than completing with an expected outcome.
+    pub probes_errored: u64,
     /// Domains per spin-behaviour class.
     pub class_counts: BTreeMap<DomainClass, u64>,
     lists: BTreeMap<ListKind, ListCounts>,
@@ -95,6 +98,15 @@ impl CampaignAggregates {
             .iter()
             .filter(|r| r.outcome == ScanOutcome::Ok)
             .count() as u64;
+        self.probes_errored += records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.outcome,
+                    ScanOutcome::HandshakeFailed | ScanOutcome::Unreachable
+                )
+            })
+            .count() as u64;
 
         let class = classify(records);
         let quic = class != DomainClass::NoQuic;
@@ -125,6 +137,7 @@ impl CampaignAggregates {
         self.domains += other.domains;
         self.records += other.records;
         self.established += other.established;
+        self.probes_errored += other.probes_errored;
         for (class, n) in other.class_counts {
             *self.class_counts.entry(class).or_default() += n;
         }
@@ -231,6 +244,37 @@ mod tests {
         assert_eq!(streamed.domains, pop.len() as u64);
         assert_eq!(streamed.records, campaign.len() as u64);
         assert_eq!(streamed.established, campaign.established().count() as u64);
+        let errored = campaign
+            .records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.outcome,
+                    quicspin_scanner::ScanOutcome::HandshakeFailed
+                        | quicspin_scanner::ScanOutcome::Unreachable
+                )
+            })
+            .count() as u64;
+        assert_eq!(streamed.probes_errored, errored);
+    }
+
+    #[test]
+    fn lossy_campaign_surfaces_probe_errors() {
+        let pop = pop();
+        let scanner = Scanner::new(&pop);
+        let cfg = CampaignConfig {
+            threads: 2,
+            conditions: NetworkConditions {
+                loss: 0.25,
+                ..NetworkConditions::clean()
+            },
+            ..CampaignConfig::default()
+        };
+        let agg = aggregate_campaign(&scanner, &cfg, 0..pop.len() as u32);
+        assert!(
+            agg.probes_errored > 0,
+            "heavy loss must surface as counted probe errors"
+        );
     }
 
     #[test]

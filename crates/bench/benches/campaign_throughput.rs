@@ -5,7 +5,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use quicspin_bench::bench_population;
-use quicspin_scanner::{CampaignConfig, NetworkConditions, ProbeScratch, ScanOutcome, Scanner};
+use quicspin_scanner::{
+    CampaignConfig, NetworkConditions, ProbeScratch, Registry, ScanOutcome, Scanner,
+};
+use std::sync::Arc;
 
 fn clean_config(threads: usize) -> CampaignConfig {
     CampaignConfig {
@@ -59,9 +62,33 @@ fn probe_loop(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry tax: the same campaign with the metrics registry disabled
+/// (the default — every counter/span behind a dead branch) vs fully
+/// enabled (shards, stage timers, atomic merges). The issue budget allows
+/// at most 2% between the two.
+fn telemetry_overhead(c: &mut Criterion) {
+    let pop = bench_population(4_000, 500);
+    let scanner = Scanner::new(&pop);
+    let mut group = c.benchmark_group("telemetry");
+    group.throughput(Throughput::Elements(pop.len() as u64));
+    group.sample_size(10);
+    let disabled = clean_config(4);
+    group.bench_function("campaign_disabled_registry", |b| {
+        b.iter(|| scanner.run_campaign(std::hint::black_box(&disabled)))
+    });
+    let enabled = CampaignConfig {
+        telemetry: Arc::new(Registry::new()),
+        ..clean_config(4)
+    };
+    group.bench_function("campaign_instrumented", |b| {
+        b.iter(|| scanner.run_campaign(std::hint::black_box(&enabled)))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = sweep_threads, probe_loop
+    targets = sweep_threads, probe_loop, telemetry_overhead
 }
 criterion_main!(benches);

@@ -60,6 +60,9 @@ pub struct PathStats {
     pub reordered: [u64; 2],
     /// Bytes entering the path.
     pub bytes: [u64; 2],
+    /// High-water mark of the event-queue depth (pending deliveries and
+    /// timers); a proxy for how congested the simulated path ever got.
+    pub queue_high_water: u64,
 }
 
 impl PathStats {
@@ -283,12 +286,22 @@ impl Simulator {
                 },
             );
         }
+        self.note_queue_depth();
     }
 
     /// Arms a timer for `side` at absolute time `at`.
     pub fn set_timer(&mut self, side: Side, at: SimTime, token: u64) {
         let at = if at < self.now { self.now } else { at };
         self.queue.push(at, Pending::Timer { side, token });
+        self.note_queue_depth();
+    }
+
+    #[inline]
+    fn note_queue_depth(&mut self) {
+        let depth = self.queue.len() as u64;
+        if depth > self.stats.queue_high_water {
+            self.stats.queue_high_water = depth;
+        }
     }
 
     /// Advances to the next event and returns it, or `None` when idle.
@@ -428,6 +441,20 @@ mod tests {
             }
         ));
         assert!(sim.step().is_none());
+    }
+
+    #[test]
+    fn queue_high_water_tracks_peak_depth() {
+        let mut sim = Simulator::symmetric(LinkConfig::ideal(ms(10)), 1);
+        assert_eq!(sim.stats().queue_high_water, 0);
+        sim.send(Side::Client, vec![0]);
+        sim.send(Side::Client, vec![1]);
+        sim.set_timer(Side::Client, SimTime::ZERO + ms(1), 7);
+        assert_eq!(sim.stats().queue_high_water, 3);
+        // Draining the queue must not lower the recorded peak.
+        while sim.step().is_some() {}
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.stats().queue_high_water, 3);
     }
 
     #[test]

@@ -135,6 +135,36 @@ impl Space {
 /// Maximum consecutive PTOs before the connection gives up.
 const MAX_PTO_COUNT: u32 = 6;
 
+/// Per-connection operational counters.
+///
+/// Maintained as plain integers on the connection's own state (no atomics
+/// — a connection is single-threaded) and read out once via
+/// [`Connection::counters`]. Scan loops map these into the campaign
+/// telemetry registry; the transport itself never logs or prints.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnCounters {
+    /// Packets built and emitted by this endpoint.
+    pub packets_sent: u64,
+    /// Datagrams received and decoded.
+    pub packets_received: u64,
+    /// Datagrams dropped because they failed to decode.
+    pub packets_undecodable: u64,
+    /// Decoded packets ignored as duplicates.
+    pub packets_duplicate: u64,
+    /// Packets declared lost by ack- or time-threshold detection.
+    pub packets_lost: u64,
+    /// Frames re-queued for retransmission (loss or PTO probe).
+    pub frames_retransmitted: u64,
+    /// Probe timeouts fired.
+    pub ptos_fired: u64,
+    /// Outgoing datagrams built into a recycled pool buffer.
+    pub datagram_pool_hits: u64,
+    /// Outgoing datagrams that needed a fresh allocation.
+    pub datagram_pool_misses: u64,
+    /// Spin-bit edges observed on received 1-RTT packets.
+    pub spin_edges: u64,
+}
+
 /// A QUIC connection endpoint.
 #[derive(Debug)]
 pub struct Connection {
@@ -169,6 +199,7 @@ pub struct Connection {
     cwnd: u64,
     ssthresh: u64,
     ca_credit: u64,
+    counters: ConnCounters,
 }
 
 impl Connection {
@@ -205,6 +236,7 @@ impl Connection {
             cwnd: cfg.initial_cwnd_packets,
             ssthresh: u64::MAX,
             ca_credit: 0,
+            counters: ConnCounters::default(),
             cfg,
         };
         // ClientHello: tag + offered version code.
@@ -245,6 +277,7 @@ impl Connection {
             cwnd: cfg.initial_cwnd_packets,
             ssthresh: u64::MAX,
             ca_credit: 0,
+            counters: ConnCounters::default(),
             cfg,
         }
     }
@@ -356,8 +389,10 @@ impl Connection {
             return;
         }
         let Ok(packet) = Packet::decode(datagram, self.cfg.cid_len) else {
-            return; // undecodable datagrams are dropped silently
+            self.counters.packets_undecodable += 1;
+            return; // undecodable datagrams are dropped (counted, not logged)
         };
+        self.counters.packets_received += 1;
         self.last_activity = now;
 
         let (space, pn, spin) = match &packet.header {
@@ -410,6 +445,7 @@ impl Connection {
             self.cfg.max_ack_delay,
         );
         if !fresh {
+            self.counters.packets_duplicate += 1;
             return; // duplicate: already processed
         }
 
@@ -467,6 +503,7 @@ impl Connection {
                         self.on_congestion_loss();
                     }
                 }
+                self.counters.packets_lost += outcome.lost_pns.len() as u64;
                 for pn in &outcome.lost_pns {
                     self.qlog.push(
                         self.rel_us(now),
@@ -518,6 +555,7 @@ impl Connection {
     }
 
     fn requeue_lost(&mut self, space: PacketSpace, frames: Vec<Frame>) {
+        self.counters.frames_retransmitted += frames.len() as u64;
         for frame in frames {
             match frame {
                 Frame::Stream {
@@ -749,7 +787,18 @@ impl Connection {
         } else {
             self.cfg.ack_processing_latency
         };
-        let datagram = packet.encode_into(self.datagram_pool.pop().unwrap_or_default());
+        let buf = match self.datagram_pool.pop() {
+            Some(buf) => {
+                self.counters.datagram_pool_hits += 1;
+                buf
+            }
+            None => {
+                self.counters.datagram_pool_misses += 1;
+                Vec::new()
+            }
+        };
+        let datagram = packet.encode_into(buf);
+        self.counters.packets_sent += 1;
 
         self.spaces[idx]
             .sent
@@ -800,6 +849,15 @@ impl Connection {
     /// Current congestion window in packets.
     pub fn cwnd(&self) -> u64 {
         self.cwnd
+    }
+
+    /// Operational counters accumulated so far, with the spin-edge count
+    /// folded in from the spin generator.
+    pub fn counters(&self) -> ConnCounters {
+        ConnCounters {
+            spin_edges: self.spin.edges(),
+            ..self.counters
+        }
     }
 
     // ------------------------------------------------------------------
@@ -872,6 +930,7 @@ impl Connection {
             .collect();
         if !expired.is_empty() {
             self.pto_count += 1;
+            self.counters.ptos_fired += 1;
             if self.pto_count > MAX_PTO_COUNT {
                 self.state = State::Closed;
                 self.error = Some(ConnectionError::PtoExhausted);
@@ -955,6 +1014,49 @@ mod tests {
             Some(AppEvent::HandshakeCompleted)
         ));
         assert!(client.qlog().handshake_completed());
+    }
+
+    #[test]
+    fn counters_track_sent_received_and_drops() {
+        let (mut client, mut server) = pair();
+        let n = pump(&mut client, &mut server, at(0));
+        let c = client.counters();
+        let s = server.counters();
+        assert_eq!((c.packets_sent + s.packets_sent) as usize, n);
+        assert_eq!(c.packets_received, s.packets_sent);
+        assert_eq!(s.packets_received, c.packets_sent);
+        assert_eq!(c.packets_undecodable, 0);
+
+        // Garbage is counted as undecodable, not received.
+        server.handle_datagram(at(1), &[0xff, 0x00]);
+        assert_eq!(server.counters().packets_undecodable, 1);
+        assert_eq!(server.counters().packets_received, c.packets_sent);
+
+        // A replayed datagram is received but flagged duplicate.
+        client.send_stream(0, b"x", true);
+        let d = client.poll_transmit(at(2)).unwrap();
+        server.handle_datagram(at(2), &d);
+        server.handle_datagram(at(2), &d);
+        assert_eq!(server.counters().packets_duplicate, 1);
+    }
+
+    #[test]
+    fn counters_track_pool_reuse_and_spin_edges() {
+        let (mut client, mut server) = pair();
+        pump(&mut client, &mut server, at(0));
+        let before = client.counters();
+        assert_eq!(before.datagram_pool_hits, 0, "nothing recycled yet");
+        client.recycle_datagram(Vec::with_capacity(1500));
+        client.send_stream(0, b"ping", true);
+        pump(&mut client, &mut server, at(5));
+        server.send_stream(1, b"pong", true);
+        pump(&mut client, &mut server, at(10));
+        let after = client.counters();
+        assert_eq!(after.datagram_pool_hits, 1);
+        assert!(
+            after.spin_edges > 0,
+            "1-RTT ping-pong must observe spin edges"
+        );
     }
 
     #[test]

@@ -12,10 +12,10 @@
 //! estimate stays anchored to the network path.
 
 use crate::config::TransportConfig;
-use crate::conn::{AppEvent, Connection};
+use crate::conn::{AppEvent, ConnCounters, Connection};
 use quicspin_core::{GreaseFilter, ObserverConfig, ObserverReport, PacketObservation};
 use quicspin_netsim::{
-    LinkConfig, Side, SimDuration, SimEvent, SimScratch, SimTime, Simulator, TapRecord,
+    LinkConfig, PathStats, Side, SimDuration, SimEvent, SimScratch, SimTime, Simulator, TapRecord,
 };
 use quicspin_qlog::{LoggedEvent, TraceLog};
 use quicspin_wire::Header;
@@ -96,6 +96,10 @@ pub struct LabConfig {
     pub response_prefix: Vec<u8>,
     /// Hard wall on simulated duration.
     pub max_duration: SimDuration,
+    /// Measure real (host) wall time of the handshake and transfer phases
+    /// into [`LabStats`]. Off by default so un-instrumented runs never
+    /// read the monotonic clock.
+    pub time_stages: bool,
 }
 
 impl Default for LabConfig {
@@ -115,8 +119,35 @@ impl Default for LabConfig {
             request: b"GET / HTTP/3\r\nhost: lab.example\r\n\r\n".to_vec(),
             response_prefix: Vec::new(),
             max_duration: SimDuration::from_secs(60),
+            time_stages: false,
         }
     }
+}
+
+/// Operational statistics of one lab run: both endpoints' transport
+/// counters, the simulated path's stats, payload-pool behaviour, and
+/// (when [`LabConfig::time_stages`] is set) real wall time per phase.
+///
+/// Plain data — the transport stack carries no telemetry dependency; the
+/// scanner maps these into its campaign registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabStats {
+    /// Client transport counters.
+    pub client: ConnCounters,
+    /// Server transport counters.
+    pub server: ConnCounters,
+    /// Simulated-path statistics (drops, reorders, queue high-water).
+    pub path: PathStats,
+    /// Delivered payload buffers reclaimed for reuse (sole handle).
+    pub payload_reclaimed: u64,
+    /// Delivered payloads still shared at delivery (a tap held a handle).
+    pub payload_shared: u64,
+    /// Host wall time from lab start to handshake completion (0 when
+    /// stage timing is off or the handshake never completed).
+    pub handshake_wall_ns: u64,
+    /// Host wall time from handshake completion to lab end (0 when stage
+    /// timing is off or the handshake never completed).
+    pub transfer_wall_ns: u64,
 }
 
 /// Everything a lab run produced.
@@ -142,6 +173,8 @@ pub struct LabOutcome {
     pub finished_at: SimTime,
     /// The client stack's RTT samples in µs.
     pub client_stack_samples_us: Vec<u64>,
+    /// Operational statistics of the run.
+    pub stats: LabStats,
 }
 
 impl LabOutcome {
@@ -271,6 +304,13 @@ impl ConnectionLab {
         response_data.clear();
         let mut client_done = false;
         let deadline = SimTime::ZERO + cfg.max_duration;
+        let mut payload_reclaimed = 0u64;
+        let mut payload_shared = 0u64;
+        // Host wall-time stage split (handshake vs. everything after).
+        // Gated so an un-instrumented run never reads the clock.
+        let started_at = cfg.time_stages.then(std::time::Instant::now);
+        let mut handshake_wall_ns = 0u64;
+        let mut established_seen = false;
 
         // Kick off: client Initial flight.
         // Timer arming is deduplicated: re-arming the same deadline after
@@ -293,8 +333,12 @@ impl ConnectionLab {
                     conn.handle_datagram(now, &datagram);
                     // Recycle the delivered buffer (sole handle unless a
                     // tap kept one) so the receiver's own sends reuse it.
-                    if let Some(buf) = datagram.into_vec() {
-                        conn.recycle_datagram(buf);
+                    match datagram.into_vec() {
+                        Some(buf) => {
+                            payload_reclaimed += 1;
+                            conn.recycle_datagram(buf);
+                        }
+                        None => payload_shared += 1,
                     }
                 }
                 SimEvent::Timer { side, token } => {
@@ -324,6 +368,13 @@ impl ConnectionLab {
                         armed[side_index(side)] = None;
                         conn.on_timeout(now);
                     }
+                }
+            }
+
+            if !established_seen && client.is_established() {
+                established_seen = true;
+                if let Some(start) = started_at {
+                    handshake_wall_ns = elapsed_ns(start);
                 }
             }
 
@@ -380,6 +431,18 @@ impl ConnectionLab {
         sim.sort_tap_records();
         let finished_at = sim.now();
         let tap_records = sim.take_tap_records();
+        let stats = LabStats {
+            client: client.counters(),
+            server: server.counters(),
+            path: *sim.stats(),
+            payload_reclaimed,
+            payload_shared,
+            handshake_wall_ns,
+            transfer_wall_ns: match started_at {
+                Some(start) if established_seen => elapsed_ns(start) - handshake_wall_ns,
+                _ => 0,
+            },
+        };
         scratch.sim = sim.into_scratch();
         LabOutcome {
             handshake_completed: client.is_established()
@@ -393,8 +456,14 @@ impl ConnectionLab {
             tap_records,
             cid_len: cfg.client.cid_len,
             finished_at,
+            stats,
         }
     }
+}
+
+/// Nanoseconds since `start`, saturated to `u64::MAX`.
+fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn flush(sim: &mut Simulator, side: Side, conn: &mut Connection) {
@@ -467,6 +536,53 @@ mod tests {
         assert_eq!(fresh.client_qlog, untapped.client_qlog);
         assert_eq!(fresh.response_data, untapped.response_data);
         assert_eq!(fresh.finished_at, untapped.finished_at);
+    }
+
+    #[test]
+    fn lab_stats_reflect_exchange() {
+        let out = ConnectionLab::new(LabConfig::default()).run();
+        let s = out.stats;
+        assert!(s.client.packets_sent > 0 && s.server.packets_sent > 0);
+        assert_eq!(
+            s.path.total_sent(),
+            s.client.packets_sent + s.server.packets_sent,
+            "every transport send enters the path"
+        );
+        assert!(s.client.spin_edges > 0, "spinning exchange has edges");
+        assert!(s.path.queue_high_water > 0);
+        // Default lab has a tap, so delivered payloads stay shared.
+        assert!(s.payload_shared > 0);
+        // Stage timing off by default.
+        assert_eq!((s.handshake_wall_ns, s.transfer_wall_ns), (0, 0));
+
+        // Untapped + timed run: payloads reclaim, wall times appear.
+        let timed = ConnectionLab::new(LabConfig {
+            tap_position: None,
+            time_stages: true,
+            ..LabConfig::default()
+        })
+        .run();
+        assert!(timed.stats.payload_reclaimed > 0);
+        assert_eq!(timed.stats.payload_shared, 0);
+        assert!(timed.stats.handshake_wall_ns > 0);
+        assert!(timed.stats.transfer_wall_ns > 0);
+    }
+
+    #[test]
+    fn lossy_lab_counts_losses_and_retransmits() {
+        let out = ConnectionLab::new(LabConfig {
+            loss: 0.05,
+            seed: 3,
+            ..LabConfig::default()
+        })
+        .run();
+        let s = out.stats;
+        assert!(s.path.total_lost() > 0, "5% loss must drop something");
+        assert!(
+            s.client.packets_lost + s.server.packets_lost > 0,
+            "endpoints must detect loss"
+        );
+        assert!(s.client.frames_retransmitted + s.server.frames_retransmitted > 0);
     }
 
     #[test]

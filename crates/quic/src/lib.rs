@@ -32,8 +32,8 @@ pub mod spin;
 pub mod streams;
 
 pub use config::{SpinPolicy, TransportConfig};
-pub use conn::{AppEvent, Connection, ConnectionError, Role};
+pub use conn::{AppEvent, ConnCounters, Connection, ConnectionError, Role};
 pub use endpoint::{ConnectionHandle, Endpoint};
-pub use lab::{ConnectionLab, LabConfig, LabOutcome, LabScratch, ServerProfile};
+pub use lab::{ConnectionLab, LabConfig, LabOutcome, LabScratch, LabStats, ServerProfile};
 pub use rtt::RttEstimator;
 pub use spin::SpinGenerator;

@@ -39,6 +39,8 @@ pub struct SpinGenerator {
     /// VEC state (only consulted when enabled).
     vec: VecEndpoint,
     vec_enabled: bool,
+    /// Incoming spin edges observed (value flips on the largest-pn chain).
+    edges: u64,
 }
 
 impl SpinGenerator {
@@ -53,6 +55,7 @@ impl SpinGenerator {
             last_sent: None,
             vec: VecEndpoint::new(),
             vec_enabled,
+            edges: 0,
         }
     }
 
@@ -71,8 +74,18 @@ impl SpinGenerator {
             if first || spin != self.spin_seen {
                 self.vec.on_spin_update(vec);
             }
+            if !first && spin != self.spin_seen {
+                self.edges += 1;
+            }
             self.spin_seen = spin;
         }
+    }
+
+    /// Number of spin-bit transitions observed on received packets. Each
+    /// edge marks one half-rotation of the signal, so a healthy
+    /// spinning connection accrues roughly one edge per RTT per direction.
+    pub fn edges(&self) -> u64 {
+        self.edges
     }
 
     /// Computes the spin bit and VEC for the next outgoing 1-RTT packet.
@@ -276,6 +289,18 @@ mod tests {
         let (s2, v2) = g.next_outgoing(&mut r);
         assert!(s2);
         assert_eq!(v2, 0, "repeat value, no edge");
+    }
+
+    #[test]
+    fn edges_count_received_flips_only() {
+        let (mut g, _) = gen(SpinRole::Server, SpinPolicy::Participate);
+        assert_eq!(g.edges(), 0);
+        g.on_receive(0, false, 0); // first packet: baseline, not an edge
+        g.on_receive(1, false, 0); // same value: no edge
+        g.on_receive(2, true, 0); // flip: edge
+        g.on_receive(1, false, 0); // stale pn: ignored entirely
+        g.on_receive(3, false, 0); // flip back: edge
+        assert_eq!(g.edges(), 2);
     }
 
     #[test]

@@ -3,9 +3,18 @@
 //! "stripping unused information to limit the file size" exactly as the
 //! paper's release does.
 
+//! None of the exporters here (or anywhere in the library crates) print
+//! to stdout: operational events are counted into the campaign telemetry
+//! registry instead, and binaries decide what to render.
+
 use crate::campaign::Campaign;
 use crate::record::ScanOutcome;
 use quicspin_qlog::{encode_trace, EventData, QlogFile, TraceLog};
+use quicspin_telemetry::{Metric, Registry, RunManifest, Stage};
+use std::path::{Path, PathBuf};
+
+/// File name of the run manifest written next to campaign artifacts.
+pub const MANIFEST_FILE_NAME: &str = "metrics.json";
 
 /// Collects every retained qlog trace of a campaign into one qlog file.
 /// Requires the campaign to have run with `keep_qlogs`.
@@ -42,12 +51,44 @@ pub fn strip_for_release(trace: &TraceLog) -> TraceLog {
 /// Exports all retained traces in the compact binary format, stripped.
 /// Returns one byte blob per connection.
 pub fn export_binary_stripped(campaign: &Campaign) -> Vec<Vec<u8>> {
-    campaign
+    export_binary_stripped_telemetry(campaign, &Registry::disabled())
+}
+
+/// [`export_binary_stripped`], counting encode time and output bytes into
+/// `registry` (`qlog_encode` stage, `qlog_bytes_encoded` counter).
+pub fn export_binary_stripped_telemetry(campaign: &Campaign, registry: &Registry) -> Vec<Vec<u8>> {
+    let span = registry.span(Stage::QlogEncode);
+    let blobs: Vec<Vec<u8>> = campaign
         .records
         .iter()
         .filter_map(|r| r.qlog.as_ref())
         .map(|t| encode_trace(&strip_for_release(t)))
-        .collect()
+        .collect();
+    span.finish();
+    registry.add(
+        Metric::QlogBytesEncoded,
+        blobs.iter().map(|b| b.len() as u64).sum(),
+    );
+    blobs
+}
+
+/// Writes a [`RunManifest`] as pretty-printed JSON named
+/// [`MANIFEST_FILE_NAME`] inside `dir` (created if missing). Returns the
+/// path written.
+pub fn write_run_manifest(dir: &Path, manifest: &RunManifest) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(MANIFEST_FILE_NAME);
+    let json = serde_json::to_string_pretty(manifest)
+        .map_err(|e| std::io::Error::other(format!("manifest serialization failed: {e}")))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Reads a [`RunManifest`] back from `dir`.
+pub fn read_run_manifest(dir: &Path) -> std::io::Result<RunManifest> {
+    let json = std::fs::read_to_string(dir.join(MANIFEST_FILE_NAME))?;
+    serde_json::from_str(&json)
+        .map_err(|e| std::io::Error::other(format!("manifest parse failed: {e}")))
 }
 
 #[cfg(test)]

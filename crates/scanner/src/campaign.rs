@@ -11,8 +11,11 @@ use crate::probe::{probe_connection_scratch, NetworkConditions, ProbeScratch};
 use crate::record::{ConnectionRecord, ScanOutcome};
 use quicspin_core::{GreaseFilter, ObserverConfig};
 use quicspin_h3::MAX_REDIRECTS;
+use quicspin_telemetry::{ConfigEntry, GaugeId, Metric, Registry, RunManifest, Stage};
 use quicspin_webpop::{IpVersion, Population};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Number of domain ids a worker claims per cursor fetch. Small enough to
 /// balance a few expensive targets across threads, large enough that the
@@ -38,6 +41,12 @@ pub struct CampaignConfig {
     /// Retain the full client qlog trace on every established record
     /// (the paper's Appendix B artifact capture; memory-heavy).
     pub keep_qlogs: bool,
+    /// Campaign telemetry registry. Defaults to a disabled (no-op)
+    /// registry, so un-instrumented campaigns pay only a branch; pass an
+    /// enabled one (or use
+    /// [`run_campaign_with_progress`](Scanner::run_campaign_with_progress))
+    /// to collect metrics. Telemetry never changes the records produced.
+    pub telemetry: Arc<Registry>,
 }
 
 impl Default for CampaignConfig {
@@ -50,7 +59,27 @@ impl Default for CampaignConfig {
             observer: ObserverConfig::default(),
             grease: GreaseFilter::paper(),
             keep_qlogs: false,
+            telemetry: Arc::new(Registry::disabled()),
         }
+    }
+}
+
+impl CampaignConfig {
+    /// Echoes this configuration as manifest entries.
+    pub fn config_entries(&self) -> Vec<ConfigEntry> {
+        let entry = |key: &str, value: String| ConfigEntry {
+            key: key.to_string(),
+            value,
+        };
+        vec![
+            entry("week", self.week.to_string()),
+            entry("ip_version", format!("{:?}", self.version)),
+            entry("threads", self.threads.to_string()),
+            entry("loss", self.conditions.loss.to_string()),
+            entry("reorder", self.conditions.reorder.to_string()),
+            entry("jitter_frac", self.conditions.jitter_frac.to_string()),
+            entry("keep_qlogs", self.keep_qlogs.to_string()),
+        ]
     }
 }
 
@@ -254,23 +283,41 @@ impl<'p> Scanner<'p> {
         // One worker loop, shared by the sequential and threaded paths so
         // both build the exact same per-batch accumulation tree.
         let worker = |out: &mut Vec<(u32, A)>| {
+            let reg = &*config.telemetry;
             let mut scratch = ProbeScratch::default();
+            scratch.telemetry.set_enabled(reg.is_enabled());
             let mut domain_records: Vec<ConnectionRecord> = Vec::new();
+            let mut warm = false;
             loop {
                 let batch = cursor.fetch_add(1, Ordering::Relaxed);
                 if batch >= batches {
                     break;
                 }
+                reg.incr(Metric::BatchesClaimed);
                 let lo = ids.start + batch * BATCH_SIZE;
                 let hi = lo.saturating_add(BATCH_SIZE).min(ids.end);
                 let mut acc = init();
                 for id in lo..hi {
                     domain_records.clear();
+                    // Coarse per-domain counters go straight to the shared
+                    // registry so a monitor thread sees live progress;
+                    // per-packet stats batch through the worker shard.
+                    reg.incr(Metric::ProbesStarted);
+                    if warm {
+                        scratch.telemetry.incr(Metric::ScratchReuseHits);
+                    } else {
+                        warm = true;
+                    }
+                    let t = scratch.telemetry.timer();
                     self.scan_domain_into(id, config, &mut scratch, &mut domain_records);
+                    scratch.telemetry.record_since(Stage::Probe, t);
+                    note_domain_records(reg, &domain_records);
                     fold(&mut acc, &mut domain_records);
                 }
                 out.push((batch, acc));
             }
+            reg.absorb(&scratch.telemetry);
+            reg.incr(Metric::WorkersFinished);
         };
 
         let mut tagged: Vec<(u32, A)> = if threads == 1 || batches <= 1 {
@@ -304,6 +351,99 @@ impl<'p> Scanner<'p> {
         }
         acc
     }
+
+    /// Runs a full sweep with live progress reporting and a run manifest.
+    ///
+    /// A monitor thread samples the campaign registry every
+    /// `progress_every` and hands `sink` one status line per tick
+    /// (`probes/sec`, ETA, error rate — see
+    /// [`ProgressSnapshot::render`](quicspin_telemetry::ProgressSnapshot::render)),
+    /// followed by the final human-readable summary table. If the config's
+    /// registry is disabled, an enabled one is substituted for this run so
+    /// the manifest is always populated. Returns the campaign plus the
+    /// [`RunManifest`] (write it next to the other artifacts with
+    /// [`write_run_manifest`](crate::artifacts::write_run_manifest)).
+    pub fn run_campaign_with_progress<F>(
+        &self,
+        config: &CampaignConfig,
+        progress_every: Duration,
+        mut sink: F,
+    ) -> (Campaign, RunManifest)
+    where
+        F: FnMut(&str) + Send,
+    {
+        let mut config = config.clone();
+        if !config.telemetry.is_enabled() {
+            config.telemetry = Arc::new(Registry::new());
+        }
+        let reg = Arc::clone(&config.telemetry);
+        let total = self.population.len() as u64;
+        reg.gauge_set(GaugeId::CampaignSize, total);
+        reg.gauge_set(GaugeId::WorkerThreads, config.threads.max(1) as u64);
+        let progress_every = progress_every.max(Duration::from_millis(1));
+
+        let started = Instant::now();
+        let stop = AtomicBool::new(false);
+        let campaign = std::thread::scope(|scope| {
+            let monitor_reg = Arc::clone(&reg);
+            let stop_flag = &stop;
+            let sink_ref = &mut sink;
+            let monitor = scope.spawn(move || {
+                let poll = Duration::from_millis(10).min(progress_every);
+                loop {
+                    // Sleep in small slices so shutdown is prompt.
+                    let wake = Instant::now() + progress_every;
+                    while Instant::now() < wake {
+                        if stop_flag.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(poll);
+                    }
+                    if stop_flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let snap = monitor_reg.progress(total, elapsed_ns(started));
+                    sink_ref(&snap.render());
+                }
+            });
+            let campaign = self.run_campaign(&config);
+            stop.store(true, Ordering::Relaxed);
+            monitor.join().expect("progress monitor panicked");
+            campaign
+        });
+
+        let manifest = reg.manifest(config.config_entries(), elapsed_ns(started));
+        sink(&reg.progress(total, manifest.wall_time_ns).render());
+        sink(&manifest.summary_table());
+        (campaign, manifest)
+    }
+}
+
+/// Folds one scanned domain's outcome into the registry's live counters.
+fn note_domain_records(reg: &Registry, records: &[ConnectionRecord]) {
+    if !reg.is_enabled() {
+        return;
+    }
+    reg.incr(Metric::ProbesCompleted);
+    reg.add(Metric::RecordsProduced, records.len() as u64);
+    let mut errored = false;
+    for r in records {
+        if r.redirect_depth > 0 {
+            reg.incr(Metric::RedirectsFollowed);
+        }
+        errored |= matches!(
+            r.outcome,
+            ScanOutcome::HandshakeFailed | ScanOutcome::Unreachable
+        );
+    }
+    if errored {
+        reg.incr(Metric::ProbesErrored);
+    }
+}
+
+/// Nanoseconds since `start`, saturated to `u64::MAX`.
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -351,6 +491,73 @@ mod tests {
                 ScanOutcome::Unreachable => assert!(d.quic),
             }
         }
+    }
+
+    #[test]
+    fn progress_campaign_counts_every_probe() {
+        let pop = tiny_pop();
+        let scanner = Scanner::new(&pop);
+        let mut lines: Vec<String> = Vec::new();
+        let (campaign, manifest) =
+            scanner.run_campaign_with_progress(&clean_config(), Duration::from_millis(1), |line| {
+                lines.push(line.to_string())
+            });
+
+        // Telemetry must not perturb results: same records as a plain run.
+        let plain = scanner.run_campaign(&clean_config());
+        assert_eq!(
+            serde_json::to_string(&campaign.records).unwrap(),
+            serde_json::to_string(&plain.records).unwrap()
+        );
+
+        // Every domain probed exactly once, completions match.
+        let total = pop.len() as u64;
+        assert_eq!(manifest.counter("probes_started"), total);
+        assert_eq!(manifest.counter("probes_completed"), total);
+        assert_eq!(manifest.counter("campaign_size"), total);
+        assert_eq!(manifest.counter("records_produced"), campaign.len() as u64);
+        let errored = campaign
+            .records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.outcome,
+                    ScanOutcome::HandshakeFailed | ScanOutcome::Unreachable
+                )
+            })
+            .count() as u64;
+        assert_eq!(manifest.counter("probes_errored"), errored);
+
+        // QUIC and netsim counters flowed through the shards.
+        assert!(manifest.counter("handshakes_completed") > 0);
+        assert!(manifest.counter("packets_sent") > 0);
+        assert!(manifest.counter("packets_received") > 0);
+        assert!(manifest.counter("spin_transitions_observed") > 0);
+        assert!(manifest.counter("netsim_queue_high_water") > 0);
+        assert!(manifest.counter("scratch_reuse_hits") > 0);
+
+        // Per-stage histograms are populated.
+        let probe_stage = manifest.stage("probe").expect("probe stage");
+        assert_eq!(probe_stage.count, total);
+        assert!(probe_stage.p50_ns > 0);
+        assert!(manifest.stage("handshake").unwrap().count > 0);
+        assert!(manifest.stage("spin_extraction").unwrap().count > 0);
+        assert!(manifest.stage("classify").unwrap().count > 0);
+
+        // The sink saw the final progress line and the summary table.
+        assert!(lines.iter().any(|l| l.contains("probes/s")));
+        assert!(lines.iter().any(|l| l.contains("campaign run manifest")));
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let pop = tiny_pop();
+        let campaign = Scanner::new(&pop).run_campaign(&clean_config());
+        let config = clean_config();
+        assert!(!config.telemetry.is_enabled());
+        let manifest = config.telemetry.manifest(config.config_entries(), 0);
+        assert_eq!(manifest.counter("probes_started"), 0);
+        assert!(!campaign.is_empty());
     }
 
     #[test]

@@ -21,8 +21,12 @@ pub mod longitudinal;
 pub mod probe;
 pub mod record;
 
-pub use artifacts::{export_binary_stripped, export_qlogs, strip_for_release};
+pub use artifacts::{
+    export_binary_stripped, export_binary_stripped_telemetry, export_qlogs, read_run_manifest,
+    strip_for_release, write_run_manifest, MANIFEST_FILE_NAME,
+};
 pub use campaign::{Campaign, CampaignConfig, Scanner};
 pub use longitudinal::{run_longitudinal, DomainWeeks, LongitudinalConfig, LongitudinalResult};
 pub use probe::{probe_connection, probe_connection_scratch, NetworkConditions, ProbeScratch};
+pub use quicspin_telemetry::{ProgressSnapshot, Registry, RunManifest};
 pub use record::{ConnectionRecord, ScanOutcome};

@@ -5,7 +5,10 @@ use crate::record::{ConnectionRecord, ScanOutcome};
 use quicspin_core::{GreaseFilter, ObserverConfig, ObserverReport};
 use quicspin_h3::{Request, Response};
 use quicspin_netsim::{Rng, SimDuration};
-use quicspin_quic::{ConnectionLab, LabConfig, LabScratch, ServerProfile, TransportConfig};
+use quicspin_quic::{
+    ConnectionLab, LabConfig, LabScratch, LabStats, ServerProfile, TransportConfig,
+};
+use quicspin_telemetry::{GaugeId, Metric, Stage, WorkerShard};
 use quicspin_webpop::{ConnectionPlan, DomainRecord, IpVersion, WebServer};
 
 /// Reusable per-worker probe state.
@@ -14,9 +17,58 @@ use quicspin_webpop::{ConnectionPlan, DomainRecord, IpVersion, WebServer};
 /// runs; the connection lab's event queue, qlog buffers and byte buffers
 /// are then recycled instead of reallocated per connection. A fresh
 /// scratch and a reused one produce identical records.
+///
+/// The scratch also carries the worker's private telemetry shard, so
+/// per-packet counters and stage timings accumulate contention-free and
+/// ride the existing per-worker state through the hot path. The campaign
+/// engine enables the shard to match its registry and absorbs it when the
+/// worker finishes; outside a campaign the shard stays disabled and costs
+/// nothing.
 #[derive(Debug, Default)]
 pub struct ProbeScratch {
     lab: LabScratch,
+    /// Worker-private telemetry buffer (see [`quicspin_telemetry`]).
+    pub telemetry: WorkerShard,
+}
+
+/// Maps one lab run's plain stats into the worker's telemetry shard.
+fn note_lab_stats(shard: &mut WorkerShard, stats: &LabStats) {
+    // Transport counters, both endpoints.
+    for conn in [&stats.client, &stats.server] {
+        shard.add(Metric::PacketsSent, conn.packets_sent);
+        shard.add(Metric::PacketsReceived, conn.packets_received);
+        shard.add(Metric::PacketsUndecodable, conn.packets_undecodable);
+        shard.add(Metric::PacketsDuplicate, conn.packets_duplicate);
+        shard.add(Metric::PacketsLost, conn.packets_lost);
+        shard.add(Metric::FramesRetransmitted, conn.frames_retransmitted);
+        shard.add(Metric::PtosFired, conn.ptos_fired);
+        shard.add(Metric::DatagramPoolHits, conn.datagram_pool_hits);
+        shard.add(Metric::DatagramPoolMisses, conn.datagram_pool_misses);
+    }
+    // Spin edges as seen by the scanning client (the measurement side).
+    shard.add(Metric::SpinTransitionsObserved, stats.client.spin_edges);
+    // Simulated-path behaviour.
+    let path = &stats.path;
+    shard.add(Metric::NetsimDrops, path.total_lost());
+    shard.add(
+        Metric::NetsimReorders,
+        path.reordered[0] + path.reordered[1],
+    );
+    shard.add(
+        Metric::NetsimDuplicates,
+        path.duplicated[0] + path.duplicated[1],
+    );
+    shard.gauge_max(GaugeId::NetsimQueueHighWater, path.queue_high_water);
+    // Payload-pool hit rate.
+    shard.add(Metric::PayloadReclaimed, stats.payload_reclaimed);
+    shard.add(Metric::PayloadShared, stats.payload_shared);
+    // Stage wall times measured inside the lab's event loop.
+    if stats.handshake_wall_ns > 0 {
+        shard.record_ns(Stage::Handshake, stats.handshake_wall_ns);
+    }
+    if stats.transfer_wall_ns > 0 {
+        shard.record_ns(Stage::Transfer, stats.transfer_wall_ns);
+    }
 }
 
 /// Network conditions of the scan path (the part of the path shared by
@@ -185,10 +237,14 @@ pub fn probe_connection_scratch(
         request: request.encode(),
         response_prefix: response.encode_header(),
         max_duration: SimDuration::from_secs(60),
+        // Only pay for phase wall-clocks when telemetry is live.
+        time_stages: scratch.telemetry.is_enabled(),
     };
     let mut outcome = ConnectionLab::new(lab_cfg).run_with_scratch(&mut scratch.lab);
+    note_lab_stats(&mut scratch.telemetry, &outcome.stats);
 
     if !outcome.handshake_completed {
+        scratch.telemetry.incr(Metric::HandshakesFailed);
         let qlog = keep_qlog.then(|| std::mem::take(&mut outcome.client_qlog));
         let record = ConnectionRecord {
             domain_id: domain.id,
@@ -207,19 +263,33 @@ pub fn probe_connection_scratch(
         return (record, None);
     }
 
+    scratch.telemetry.incr(Metric::HandshakesCompleted);
     let parsed = Response::parse_header(&outcome.response_data).map(|(r, _)| r);
     let webserver = parsed.as_ref().map(|r| WebServer::from_header(&r.server));
+
+    // Back-to-back stages share clock reads: each lap's end timestamp is
+    // the next stage's start.
+    let t = scratch.telemetry.timer();
+    let observations = outcome.client_observations();
+    let t = scratch.telemetry.record_lap(Stage::SpinExtraction, t);
+
     let report = ObserverReport::build(
-        &outcome.client_observations(),
+        &observations,
         std::mem::take(&mut outcome.client_stack_samples_us),
         observer,
         grease,
     );
+    let t = scratch.telemetry.record_lap(Stage::Classify, t);
+
     let qlog = keep_qlog.then(|| {
         let mut trace = std::mem::take(&mut outcome.client_qlog);
         trace.title = domain.www_name();
+        scratch.telemetry.incr(Metric::QlogTracesRetained);
         trace
     });
+    if keep_qlog {
+        scratch.telemetry.record_since(Stage::QlogEncode, t);
+    }
 
     let record = ConnectionRecord {
         domain_id: domain.id,

@@ -1,0 +1,429 @@
+//! Fixed-bucket log-scale latency histograms.
+//!
+//! The bucket layout is HDR-style: values below 8 get one bucket each,
+//! larger values share an octave (power of two) split into 8 linear
+//! sub-buckets, i.e. ~6% relative resolution at any magnitude. With 256
+//! buckets the range covers 0 ns up to ~16 s before the final bucket
+//! saturates — comfortably wider than any per-probe pipeline stage.
+//!
+//! Two representations share the layout:
+//!
+//! * [`HistogramShard`] — plain `u64` buckets, owned by exactly one worker
+//!   thread. Recording is a handful of arithmetic ops and one array store;
+//!   no atomics, no sharing, no contention.
+//! * [`LatencyHistogram`] — `AtomicU64` buckets, owned by the registry.
+//!   Shards merge into it once per worker (relaxed adds), so the hot path
+//!   never touches shared cachelines.
+
+use crate::manifest::StageSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets in every histogram.
+pub const BUCKET_COUNT: usize = 256;
+
+/// Values below this get one bucket each (exact resolution).
+const LINEAR_LIMIT: u64 = 8;
+/// Sub-bucket bits per octave above the linear region.
+const SUB_BITS: u64 = 3;
+
+/// Maps a value (nanoseconds by convention) to its bucket index.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_LIMIT {
+        value as usize
+    } else {
+        let exp = 63 - u64::from(value.leading_zeros());
+        let sub = (value >> (exp - SUB_BITS)) & ((1 << SUB_BITS) - 1);
+        let idx = LINEAR_LIMIT + (exp - SUB_BITS) * (1 << SUB_BITS) + sub;
+        idx.min(BUCKET_COUNT as u64 - 1) as usize
+    }
+}
+
+/// The half-open value range `[lo, hi)` a bucket covers. The final bucket
+/// is unbounded above (`hi = u64::MAX`).
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKET_COUNT, "bucket index {index} out of range");
+    let index = index as u64;
+    if index < LINEAR_LIMIT {
+        return (index, index + 1);
+    }
+    let octave = index - LINEAR_LIMIT;
+    let exp = octave / (1 << SUB_BITS) + SUB_BITS;
+    let sub = octave % (1 << SUB_BITS);
+    let lo = (LINEAR_LIMIT + sub) << (exp - SUB_BITS);
+    if index == BUCKET_COUNT as u64 - 1 {
+        return (lo, u64::MAX);
+    }
+    (lo, lo + (1 << (exp - SUB_BITS)))
+}
+
+/// One worker's private histogram: plain integers, no synchronization.
+#[derive(Clone, PartialEq, Eq)]
+pub struct HistogramShard {
+    buckets: [u64; BUCKET_COUNT],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistogramShard {
+    fn default() -> Self {
+        HistogramShard {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for HistogramShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramShard")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl HistogramShard {
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &HistogramShard) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Quantile estimate: the inclusive upper bound of the bucket holding
+    /// the `q`-quantile sample, clamped to the exactly-tracked min/max.
+    /// `q` is clamped into `[0, 1]`; an empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(idx);
+                return hi.saturating_sub(1).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Point-in-time export of the summary statistics.
+    pub fn snapshot(&self, name: &str) -> StageSnapshot {
+        StageSnapshot {
+            stage: name.to_string(),
+            count: self.count(),
+            sum_ns: self.sum(),
+            min_ns: self.min(),
+            max_ns: self.max(),
+            mean_ns: self.mean(),
+            p50_ns: self.quantile(0.50),
+            p90_ns: self.quantile(0.90),
+            p99_ns: self.quantile(0.99),
+        }
+    }
+}
+
+/// The registry-side histogram: identical layout, atomic buckets.
+///
+/// All operations use relaxed ordering — per-bucket totals are exact
+/// because every shard merge happens-before the owning worker joins, and
+/// readers only run after the sweep (or accept slightly-stale progress).
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("max", &self.max.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl LatencyHistogram {
+    /// Records a single value directly (registry-side slow path; workers
+    /// should record into a [`HistogramShard`] and merge instead).
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Merges one worker shard in (called once per worker per sweep; only
+    /// occupied buckets touch shared memory).
+    pub fn merge_shard(&self, shard: &HistogramShard) {
+        if shard.count == 0 {
+            return;
+        }
+        for (idx, &n) in shard.buckets.iter().enumerate() {
+            if n != 0 {
+                self.buckets[idx].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(shard.count, Ordering::Relaxed);
+        self.sum.fetch_add(shard.sum, Ordering::Relaxed);
+        self.min.fetch_min(shard.min, Ordering::Relaxed);
+        self.max.fetch_max(shard.max, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state into a plain shard (for quantiles etc.).
+    pub fn to_shard(&self) -> HistogramShard {
+        let mut shard = HistogramShard {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        };
+        // A racing merge can make the tracked count lag the bucket sum (or
+        // vice versa); renormalize so quantile ranks stay in range.
+        let bucket_total: u64 = shard.buckets.iter().sum();
+        shard.count = bucket_total;
+        shard
+    }
+
+    /// Point-in-time export of the summary statistics.
+    pub fn snapshot(&self, name: &str) -> StageSnapshot {
+        self.to_shard().snapshot(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        for v in 0..LINEAR_LIMIT {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v + 1));
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_contiguous_and_cover_u64() {
+        let (lo0, _) = bucket_bounds(0);
+        assert_eq!(lo0, 0);
+        for idx in 0..BUCKET_COUNT - 1 {
+            let (_, hi) = bucket_bounds(idx);
+            let (next_lo, _) = bucket_bounds(idx + 1);
+            assert_eq!(hi, next_lo, "gap between buckets {idx} and {}", idx + 1);
+        }
+        let (_, last_hi) = bucket_bounds(BUCKET_COUNT - 1);
+        assert_eq!(last_hi, u64::MAX);
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bucket_bounds() {
+        let probes = [
+            0,
+            1,
+            7,
+            8,
+            9,
+            15,
+            16,
+            17,
+            100,
+            1_000,
+            4_095,
+            4_096,
+            65_535,
+            1_000_000,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(
+                lo <= v && (v < hi || idx == BUCKET_COUNT - 1),
+                "value {v} outside bucket {idx} = [{lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_split_exactly_at_power_of_two_edges() {
+        // 2^k must start a fresh bucket for every octave in range.
+        for exp in 3..30u32 {
+            let v = 1u64 << exp;
+            let (lo, _) = bucket_bounds(bucket_index(v));
+            assert_eq!(lo, v, "2^{exp} must be a bucket lower bound");
+            assert_ne!(bucket_index(v), bucket_index(v - 1), "edge at 2^{exp}");
+        }
+    }
+
+    #[test]
+    fn relative_resolution_is_bounded() {
+        // Sub-bucketing keeps bucket width <= 1/8 of the value's octave.
+        for &v in &[100u64, 1_000, 10_000, 1_000_000, 50_000_000] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            let width = (hi - lo) as f64;
+            assert!(width / lo as f64 <= 0.125 + 1e-9, "width {width} at {v}");
+        }
+    }
+
+    #[test]
+    fn shard_tracks_count_sum_min_max() {
+        let mut h = HistogramShard::default();
+        assert_eq!((h.count(), h.min(), h.max(), h.mean()), (0, 0, 0, 0));
+        for v in [5u64, 10, 100, 1_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1_115);
+        assert_eq!(h.min(), 5);
+        assert_eq!(h.max(), 1_000);
+        assert_eq!(h.mean(), 278);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_clamped() {
+        let mut h = HistogramShard::default();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50);
+        let p90 = h.quantile(0.90);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= h.max());
+        // ~6% bucket resolution around the true rank values.
+        assert!((450..=560).contains(&p50), "p50 = {p50}");
+        assert!((850..=1000).contains(&p90), "p90 = {p90}");
+        assert_eq!(h.quantile(0.0), h.min());
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn merge_of_n_shards_equals_single_shard() {
+        // The tentpole guarantee: per-worker sharding must be lossless.
+        let values: Vec<u64> = (0..5_000u64)
+            .map(|i| (i * 2_654_435_761) % 300_000)
+            .collect();
+        let mut single = HistogramShard::default();
+        for &v in &values {
+            single.record(v);
+        }
+        let n = 7;
+        let mut shards: Vec<HistogramShard> = (0..n).map(|_| HistogramShard::default()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % n].record(v);
+        }
+        let mut merged = HistogramShard::default();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged, single);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), single.quantile(q));
+        }
+    }
+
+    #[test]
+    fn atomic_histogram_matches_shard_semantics() {
+        let atomic = LatencyHistogram::default();
+        let mut shard = HistogramShard::default();
+        for v in [3u64, 9, 81, 6_561, 43_046_721] {
+            atomic.record(v);
+            shard.record(v);
+        }
+        assert_eq!(atomic.to_shard(), shard);
+        assert_eq!(atomic.snapshot("s"), shard.snapshot("s"));
+    }
+
+    #[test]
+    fn atomic_merge_shard_accumulates() {
+        let atomic = LatencyHistogram::default();
+        let mut a = HistogramShard::default();
+        let mut b = HistogramShard::default();
+        for v in 0..100u64 {
+            a.record(v * 11);
+            b.record(v * 17);
+        }
+        atomic.merge_shard(&a);
+        atomic.merge_shard(&b);
+        atomic.merge_shard(&HistogramShard::default()); // empty: no-op
+        let mut expect = a.clone();
+        expect.merge(&b);
+        assert_eq!(atomic.to_shard(), expect);
+    }
+}

@@ -1,0 +1,42 @@
+//! # quicspin-telemetry
+//!
+//! Lock-free campaign telemetry: the observability substrate for the
+//! quicspin measurement pipeline.
+//!
+//! The paper's campaigns ran weekly over hundreds of millions of domains;
+//! results at that scale are only trustworthy when the pipeline itself is
+//! continuously inspectable. This crate makes every run emit its own
+//! operational record without slowing the hot path down:
+//!
+//! * [`Counter`] / [`Gauge`] — relaxed-atomic scalars.
+//! * [`LatencyHistogram`] — fixed-bucket log-scale histogram (~6% relative
+//!   resolution) with mergeable plain-integer [`HistogramShard`]s so
+//!   workers never contend.
+//! * [`Span`] — RAII stage timer; [`Stage`] names the pipeline phases
+//!   (handshake, transfer, spin-extraction, classify, qlog-encode).
+//! * [`Registry`] — the shared store workers shard into
+//!   ([`Registry::shard`]) and merge back out of ([`Registry::absorb`]).
+//!   [`Registry::disabled`] is a no-op mode whose cost is a branch.
+//! * [`RunManifest`] — serde-serializable export (config echo, wall time,
+//!   counters, per-stage histograms) written as `metrics.json`, plus
+//!   [`ProgressSnapshot`] for periodic `probes/sec | eta | errors` lines.
+//!
+//! The transport (`quicspin-quic`) and path-simulation (`quicspin-netsim`)
+//! crates do not depend on this crate: they expose plain stat structs that
+//! the scanner maps into a [`WorkerShard`], keeping the dependency graph a
+//! straight line.
+
+pub mod histogram;
+pub mod manifest;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use histogram::{bucket_bounds, bucket_index, HistogramShard, LatencyHistogram, BUCKET_COUNT};
+pub use manifest::{
+    format_duration_ns, ConfigEntry, CounterSnapshot, ProgressSnapshot, RunManifest, StageSnapshot,
+    MANIFEST_SCHEMA_VERSION,
+};
+pub use metrics::{Counter, Gauge, GaugeId, Metric, Stage};
+pub use registry::{Registry, WorkerShard};
+pub use span::Span;

@@ -1,0 +1,319 @@
+//! Exportable run manifests and progress snapshots.
+//!
+//! A [`RunManifest`] is the serializable record of one campaign run: a
+//! config echo, the wall time, every counter and gauge, and a per-stage
+//! latency summary. It is written as `metrics.json` next to the other
+//! campaign artifacts and rendered as a human-readable summary table.
+//!
+//! All fields are integers (nanoseconds, not float seconds) so a manifest
+//! round-trips through JSON bit-exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// Version stamp for the manifest schema; bump on breaking field changes.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// Summary statistics of one stage histogram (all durations nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSnapshot {
+    /// Stage name (see [`crate::Stage`]).
+    pub stage: String,
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Total time across all spans.
+    pub sum_ns: u64,
+    /// Fastest span.
+    pub min_ns: u64,
+    /// Slowest span.
+    pub max_ns: u64,
+    /// Arithmetic mean.
+    pub mean_ns: u64,
+    /// Median (bucket upper bound, ~6% resolution).
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+}
+
+/// One named counter value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Stable snake_case metric name.
+    pub name: String,
+    /// Final value.
+    pub value: u64,
+}
+
+/// One key/value pair echoing the campaign configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigEntry {
+    /// Config field name.
+    pub key: String,
+    /// Rendered value.
+    pub value: String,
+}
+
+/// The complete, serializable record of one campaign run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Schema version ([`MANIFEST_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Echo of the campaign configuration the run used.
+    pub config: Vec<ConfigEntry>,
+    /// Total wall time of the sweep.
+    pub wall_time_ns: u64,
+    /// Every counter, in [`crate::Metric`] declaration order.
+    pub counters: Vec<CounterSnapshot>,
+    /// Every gauge, in [`crate::GaugeId`] declaration order.
+    pub gauges: Vec<CounterSnapshot>,
+    /// Per-stage latency summaries, in [`crate::Stage`] declaration order.
+    pub stages: Vec<StageSnapshot>,
+}
+
+impl RunManifest {
+    /// Looks up a counter by name; 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .chain(&self.gauges)
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Looks up a stage summary by name.
+    pub fn stage(&self, name: &str) -> Option<&StageSnapshot> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// Renders the manifest as a fixed-width summary table.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== campaign run manifest (schema v{}) ==\n",
+            self.schema_version
+        ));
+        out.push_str(&format!(
+            "wall time: {}\n\n",
+            format_duration_ns(self.wall_time_ns)
+        ));
+
+        out.push_str("-- stages --\n");
+        out.push_str(&format!(
+            "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "stage", "count", "mean", "p50", "p90", "p99", "max"
+        ));
+        for s in &self.stages {
+            if s.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                s.stage,
+                s.count,
+                format_duration_ns(s.mean_ns),
+                format_duration_ns(s.p50_ns),
+                format_duration_ns(s.p90_ns),
+                format_duration_ns(s.p99_ns),
+                format_duration_ns(s.max_ns),
+            ));
+        }
+
+        out.push_str("\n-- counters --\n");
+        for c in self.counters.iter().chain(&self.gauges) {
+            if c.value == 0 {
+                continue;
+            }
+            out.push_str(&format!("{:<28} {:>14}\n", c.name, c.value));
+        }
+
+        if !self.config.is_empty() {
+            out.push_str("\n-- config --\n");
+            for e in &self.config {
+                out.push_str(&format!("{:<28} {}\n", e.key, e.value));
+            }
+        }
+        out
+    }
+}
+
+/// A point-in-time view of campaign progress, for periodic status lines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Domains finished so far.
+    pub completed: u64,
+    /// Total domains in the sweep.
+    pub total: u64,
+    /// Probes that erred so far.
+    pub errored: u64,
+    /// Wall time elapsed since the sweep started, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl ProgressSnapshot {
+    /// Completed probes per second of elapsed wall time.
+    pub fn probes_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+
+    /// Estimated seconds until completion at the current rate.
+    pub fn eta_secs(&self) -> f64 {
+        let rate = self.probes_per_sec();
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.total.saturating_sub(self.completed) as f64 / rate
+    }
+
+    /// Fraction of completed probes that erred, in `[0, 1]`.
+    pub fn error_rate(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.errored as f64 / self.completed as f64
+    }
+
+    /// Renders one status line, e.g.
+    /// `progress 1500/10000 (15.0%) | 3214.7 probes/s | eta 2.6s | errors 1.2%`.
+    pub fn render(&self) -> String {
+        let pct = if self.total == 0 {
+            100.0
+        } else {
+            100.0 * self.completed as f64 / self.total as f64
+        };
+        let eta = self.eta_secs();
+        let eta = if eta.is_finite() {
+            format!("{eta:.1}s")
+        } else {
+            "?".to_string()
+        };
+        format!(
+            "progress {}/{} ({:.1}%) | {:.1} probes/s | eta {} | errors {:.1}%",
+            self.completed,
+            self.total,
+            pct,
+            self.probes_per_sec(),
+            eta,
+            100.0 * self.error_rate(),
+        )
+    }
+}
+
+/// Formats a nanosecond duration with an adaptive unit (`ns`/`µs`/`ms`/`s`).
+pub fn format_duration_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> RunManifest {
+        RunManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            config: vec![ConfigEntry {
+                key: "threads".into(),
+                value: "4".into(),
+            }],
+            wall_time_ns: 2_500_000_000,
+            counters: vec![
+                CounterSnapshot {
+                    name: "probes_completed".into(),
+                    value: 100,
+                },
+                CounterSnapshot {
+                    name: "probes_errored".into(),
+                    value: 3,
+                },
+            ],
+            gauges: vec![CounterSnapshot {
+                name: "worker_threads".into(),
+                value: 4,
+            }],
+            stages: vec![StageSnapshot {
+                stage: "handshake".into(),
+                count: 100,
+                sum_ns: 5_000_000,
+                min_ns: 20_000,
+                max_ns: 90_000,
+                mean_ns: 50_000,
+                p50_ns: 48_000,
+                p90_ns: 80_000,
+                p99_ns: 89_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let m = sample_manifest();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn counter_and_stage_lookup() {
+        let m = sample_manifest();
+        assert_eq!(m.counter("probes_completed"), 100);
+        assert_eq!(m.counter("worker_threads"), 4);
+        assert_eq!(m.counter("nope"), 0);
+        assert_eq!(m.stage("handshake").unwrap().count, 100);
+        assert!(m.stage("nope").is_none());
+    }
+
+    #[test]
+    fn summary_table_contains_key_rows() {
+        let table = sample_manifest().summary_table();
+        assert!(table.contains("handshake"));
+        assert!(table.contains("probes_completed"));
+        assert!(table.contains("threads"));
+        assert!(table.contains("2.50s"));
+    }
+
+    #[test]
+    fn progress_rates_and_render() {
+        let p = ProgressSnapshot {
+            completed: 500,
+            total: 1_000,
+            errored: 5,
+            elapsed_ns: 1_000_000_000,
+        };
+        assert!((p.probes_per_sec() - 500.0).abs() < 1e-9);
+        assert!((p.eta_secs() - 1.0).abs() < 1e-9);
+        assert!((p.error_rate() - 0.01).abs() < 1e-12);
+        let line = p.render();
+        assert!(line.contains("500/1000"));
+        assert!(line.contains("50.0%"));
+        assert!(line.contains("eta 1.0s"));
+
+        let empty = ProgressSnapshot {
+            completed: 0,
+            total: 10,
+            errored: 0,
+            elapsed_ns: 0,
+        };
+        assert_eq!(empty.probes_per_sec(), 0.0);
+        assert!(empty.eta_secs().is_infinite());
+        assert!(empty.render().contains("eta ?"));
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(format_duration_ns(17), "17ns");
+        assert_eq!(format_duration_ns(1_500), "1.5µs");
+        assert_eq!(format_duration_ns(2_500_000), "2.5ms");
+        assert_eq!(format_duration_ns(3_210_000_000), "3.21s");
+    }
+}

@@ -1,0 +1,237 @@
+//! Lock-free scalar metrics and the fixed metric namespace.
+//!
+//! Metrics are enumerated, not string-keyed: a [`Metric`] indexes straight
+//! into a flat array, so recording is one relaxed `fetch_add` (registry
+//! side) or one plain add (worker-shard side) — no hashing, no interning,
+//! no locks anywhere.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter (relaxed `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-writer-wins / high-water-mark scalar (relaxed `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-water mark).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+macro_rules! metric_enum {
+    ($(#[$doc:meta])* $name:ident { $($(#[$vdoc:meta])* $variant:ident => $str:literal,)+ }) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(usize)]
+        pub enum $name {
+            $($(#[$vdoc])* $variant,)+
+        }
+
+        impl $name {
+            /// Every variant, in declaration (and index) order.
+            pub const ALL: &'static [$name] = &[$($name::$variant,)+];
+
+            /// Number of variants.
+            pub const COUNT: usize = $name::ALL.len();
+
+            /// Stable snake_case name used in manifests and summaries.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $($name::$variant => $str,)+
+                }
+            }
+        }
+    };
+}
+
+metric_enum! {
+    /// Every counter the pipeline maintains.
+    ///
+    /// Scanner-level counters (probes/records/batches) are incremented
+    /// directly on the registry — once per domain, cheap enough to stay
+    /// live for progress reporting. Per-packet transport and netsim
+    /// counters ride worker shards and merge on worker completion.
+    Metric {
+        /// Domains the scanner began probing.
+        ProbesStarted => "probes_started",
+        /// Domains the scanner finished (any outcome).
+        ProbesCompleted => "probes_completed",
+        /// Probes that erred (handshake failure or unreachable host).
+        ProbesErrored => "probes_errored",
+        /// Connection records produced (redirect hops add extra).
+        RecordsProduced => "records_produced",
+        /// Redirect hops followed beyond the initial request.
+        RedirectsFollowed => "redirects_followed",
+        /// Work batches claimed off the shared cursor ("stolen" work).
+        BatchesClaimed => "batches_claimed",
+        /// Worker threads that ran to completion.
+        WorkersFinished => "workers_finished",
+        /// Probes that ran with a warm (reused) per-worker scratch.
+        ScratchReuseHits => "scratch_reuse_hits",
+        /// QUIC handshakes that completed.
+        HandshakesCompleted => "handshakes_completed",
+        /// QUIC handshakes that failed.
+        HandshakesFailed => "handshakes_failed",
+        /// QUIC packets sent (both endpoints).
+        PacketsSent => "packets_sent",
+        /// QUIC packets received and decoded (both endpoints).
+        PacketsReceived => "packets_received",
+        /// Datagrams dropped as undecodable (was a silent drop).
+        PacketsUndecodable => "packets_undecodable",
+        /// Duplicate packets ignored by the receive path.
+        PacketsDuplicate => "packets_duplicate",
+        /// Packets declared lost by loss detection.
+        PacketsLost => "packets_lost",
+        /// Frames re-queued for retransmission (loss or PTO).
+        FramesRetransmitted => "frames_retransmitted",
+        /// Probe timeouts fired.
+        PtosFired => "ptos_fired",
+        /// Spin-bit edges observed by the scanning client.
+        SpinTransitionsObserved => "spin_transitions_observed",
+        /// Datagrams dropped by the simulated path.
+        NetsimDrops => "netsim_drops",
+        /// Datagrams held back for reordering by the simulated path.
+        NetsimReorders => "netsim_reorders",
+        /// Datagrams duplicated by the simulated path.
+        NetsimDuplicates => "netsim_duplicates",
+        /// Outgoing datagrams built into a recycled pool buffer.
+        DatagramPoolHits => "datagram_pool_hits",
+        /// Outgoing datagrams that needed a fresh allocation.
+        DatagramPoolMisses => "datagram_pool_misses",
+        /// Delivered payload buffers reclaimed for reuse (sole handle).
+        PayloadReclaimed => "payload_reclaimed",
+        /// Delivered payloads still shared (e.g. a tap kept a handle).
+        PayloadShared => "payload_shared",
+        /// Qlog traces retained on records (`keep_qlogs` campaigns).
+        QlogTracesRetained => "qlog_traces_retained",
+        /// Bytes produced by compact binary qlog encoding.
+        QlogBytesEncoded => "qlog_bytes_encoded",
+    }
+}
+
+metric_enum! {
+    /// Every gauge the pipeline maintains (merged by maximum).
+    GaugeId {
+        /// High-water mark of the netsim event-queue depth.
+        NetsimQueueHighWater => "netsim_queue_high_water",
+        /// Domains in the sweep (set once at campaign start).
+        CampaignSize => "campaign_size",
+        /// Worker threads the campaign ran with.
+        WorkerThreads => "worker_threads",
+    }
+}
+
+metric_enum! {
+    /// Named pipeline stages timed by spans (wall clock, nanoseconds).
+    Stage {
+        /// Whole probe: everything from plan to record.
+        Probe => "probe",
+        /// QUIC connection establishment (lab wall time until established).
+        Handshake => "handshake",
+        /// Request/response transfer after the handshake.
+        Transfer => "transfer",
+        /// §3.3 qlog extraction into packet observations.
+        SpinExtraction => "spin_extraction",
+        /// Observer-report construction and flow classification.
+        Classify => "classify",
+        /// Qlog trace retention/encoding on `keep_qlogs` campaigns.
+        QlogEncode => "qlog_encode",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_relaxed() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_set_and_high_water() {
+        let g = Gauge::new();
+        g.set(10);
+        g.record_max(5);
+        assert_eq!(g.get(), 10);
+        g.record_max(99);
+        assert_eq!(g.get(), 99);
+    }
+
+    #[test]
+    fn metric_names_are_unique_and_indexed() {
+        use std::collections::HashSet;
+        let names: HashSet<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), Metric::COUNT);
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(*m as usize, i);
+        }
+        assert_eq!(Stage::ALL.len(), Stage::COUNT);
+        assert_eq!(GaugeId::ALL.len(), GaugeId::COUNT);
+    }
+
+    #[test]
+    fn counters_are_safe_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -1,0 +1,101 @@
+//! RAII stage timers.
+//!
+//! A [`Span`] samples the monotonic clock on creation and records the
+//! elapsed nanoseconds into a [`LatencyHistogram`] when dropped (or when
+//! [`Span::finish`] is called explicitly). A disabled span is a no-op that
+//! never touches the clock, so `Registry::disabled()` pipelines pay only a
+//! branch.
+//!
+//! Spans target the *registry-side* atomic histograms and suit code that
+//! holds a shared registry reference. Hot-path worker code should prefer
+//! [`WorkerShard::timer`](crate::WorkerShard::timer) /
+//! [`WorkerShard::record_since`](crate::WorkerShard::record_since), which
+//! batch into the private shard instead.
+
+use crate::histogram::LatencyHistogram;
+use std::time::Instant;
+
+/// An RAII guard timing one pipeline stage.
+#[derive(Debug)]
+pub struct Span<'a> {
+    target: Option<(&'a LatencyHistogram, Instant)>,
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing into `hist`.
+    #[inline]
+    pub fn start(hist: &'a LatencyHistogram) -> Span<'a> {
+        Span {
+            target: Some((hist, Instant::now())),
+        }
+    }
+
+    /// A span that records nothing and never reads the clock.
+    #[inline]
+    pub fn noop() -> Span<'static> {
+        Span { target: None }
+    }
+
+    /// Whether this span will record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.target.is_some()
+    }
+
+    /// Stops the timer now and records; returns the elapsed nanoseconds
+    /// (0 for a no-op span).
+    pub fn finish(mut self) -> u64 {
+        match self.target.take() {
+            Some((hist, start)) => {
+                let ns = saturating_elapsed_ns(start);
+                hist.record(ns);
+                ns
+            }
+            None => 0,
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.target.take() {
+            hist.record(saturating_elapsed_ns(start));
+        }
+    }
+}
+
+/// Nanoseconds since `start`, saturated to `u64::MAX`.
+#[inline]
+pub(crate) fn saturating_elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let hist = LatencyHistogram::default();
+        {
+            let _span = Span::start(&hist);
+        }
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn finish_records_once_and_returns_elapsed() {
+        let hist = LatencyHistogram::default();
+        let span = Span::start(&hist);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let ns = span.finish();
+        assert!(ns >= 1_000_000, "elapsed {ns}ns < 1ms");
+        assert_eq!(hist.count(), 1, "finish must not double-record via drop");
+    }
+
+    #[test]
+    fn noop_span_records_nothing() {
+        let span = Span::noop();
+        assert!(!span.is_recording());
+        assert_eq!(span.finish(), 0);
+    }
+}

@@ -7,8 +7,9 @@
 //! ≈ 219 k domains; use 100 for a ≈ 2.2 M-domain run if you have time).
 
 use quicspin::analysis::{render, OrgTable, OverviewTable, SpinConfigTable, WebServerShares};
-use quicspin::scanner::{CampaignConfig, Scanner};
+use quicspin::scanner::{write_run_manifest, CampaignConfig, Scanner};
 use quicspin::webpop::{IpVersion, Population, PopulationConfig, WebServer};
+use std::time::Duration;
 
 fn main() {
     let scale: u32 = std::env::args()
@@ -23,8 +24,16 @@ fn main() {
 
     // --- IPv4 sweep (Tables 1, 2, 3, §4.2) --------------------------------
     eprintln!("running IPv4 campaign (CW 20 analogue) ...");
-    let v4 = scanner.run_campaign(&CampaignConfig::default());
+    let (v4, manifest) = scanner.run_campaign_with_progress(
+        &CampaignConfig::default(),
+        Duration::from_secs(2),
+        |line| eprintln!("{line}"),
+    );
     eprintln!("{} records", v4.len());
+    match write_run_manifest(std::path::Path::new("target/campaign"), &manifest) {
+        Ok(path) => eprintln!("run manifest written to {}", path.display()),
+        Err(e) => eprintln!("could not write run manifest: {e}"),
+    }
 
     let table1 = OverviewTable::from_campaign(&v4);
     println!(

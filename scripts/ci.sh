@@ -7,3 +7,5 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q --workspace
+cargo test -q -p quicspin-telemetry
+cargo bench -p quicspin-bench --bench campaign_throughput -- --test

@@ -37,6 +37,7 @@ pub use quicspin_netsim as netsim;
 pub use quicspin_qlog as qlog;
 pub use quicspin_quic as quic;
 pub use quicspin_scanner as scanner;
+pub use quicspin_telemetry as telemetry;
 pub use quicspin_webpop as webpop;
 pub use quicspin_wire as wire;
 

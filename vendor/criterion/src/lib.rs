@@ -7,8 +7,34 @@
 //! `sample_size` timed batches report mean/min/max per iteration plus
 //! throughput when configured. No statistics beyond that, no HTML reports,
 //! no comparison to saved baselines.
+//!
+//! Like real criterion, passing `--test` on the bench binary's command
+//! line (`cargo bench -- --test`) runs every benchmark exactly once as a
+//! smoke test, skipping warm-up and measurement entirely.
 
 use std::time::{Duration, Instant};
+
+/// True when the binary was invoked with `--test` (smoke mode): each
+/// benchmark closure runs a single iteration and no timing is reported.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Like real criterion, a positional argument is a substring filter on
+/// benchmark names (`cargo bench -- telemetry`).
+fn name_matches_filter(name: &str) -> bool {
+    let mut saw_filter = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--bench" || arg.starts_with('-') {
+            continue;
+        }
+        saw_filter = true;
+        if name.contains(&arg) {
+            return true;
+        }
+    }
+    !saw_filter
+}
 
 /// Per-element/byte scaling for reported rates.
 #[derive(Debug, Clone, Copy)]
@@ -146,6 +172,18 @@ fn run_bench<F>(
 ) where
     F: FnMut(&mut Bencher),
 {
+    if !name_matches_filter(name) {
+        return;
+    }
+    if test_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("Testing {name} ... ok");
+        return;
+    }
     // Warm-up: find an iteration count whose batch takes a measurable slice
     // of the budget.
     let mut iters: u64 = 1;
