@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use quicspin_bench::bench_population;
 use quicspin_scanner::{
-    CampaignConfig, NetworkConditions, ProbeScratch, Registry, ScanOutcome, Scanner,
+    CampaignConfig, FlightConfig, NetworkConditions, ProbeScratch, Registry, ScanOutcome, Scanner,
 };
 use std::sync::Arc;
 
@@ -82,6 +82,19 @@ fn telemetry_overhead(c: &mut Criterion) {
     };
     group.bench_function("campaign_instrumented", |b| {
         b.iter(|| scanner.run_campaign(std::hint::black_box(&enabled)))
+    });
+    // Flight recorder armed on top of the instrumented campaign: every
+    // probe is inspected (trace capture + detectors + stripped again)
+    // but on this clean path almost nothing is flagged, so the gap to
+    // `campaign_instrumented` is the unflagged hot-path tax the issue
+    // caps at ~2%.
+    let flight = CampaignConfig {
+        telemetry: Arc::new(Registry::new()),
+        flight: FlightConfig::armed(0xbe7c),
+        ..clean_config(4)
+    };
+    group.bench_function("campaign_flight_recorder", |b| {
+        b.iter(|| scanner.run_campaign_flight(std::hint::black_box(&flight)))
     });
     group.finish();
 }

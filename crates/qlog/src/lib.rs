@@ -16,8 +16,10 @@
 
 pub mod binary;
 pub mod events;
+pub mod render;
 pub mod trace;
 
 pub use binary::{decode_trace, encode_trace, BinaryError};
 pub use events::{EventData, LoggedEvent, PacketSpace};
+pub use render::{render_timeline, timeline, TimelineRow};
 pub use trace::{QlogFile, TraceLog};

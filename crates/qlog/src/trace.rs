@@ -54,6 +54,21 @@ impl TraceLog {
             .any(|e| matches!(e.data, EventData::HandshakeCompleted))
     }
 
+    /// Virtual time (µs since connection start) at which the handshake
+    /// completed, if it did.
+    pub fn handshake_time_us(&self) -> Option<u64> {
+        self.events
+            .iter()
+            .find(|e| matches!(e.data, EventData::HandshakeCompleted))
+            .map(|e| e.time_us)
+    }
+
+    /// Virtual duration of the connection: the timestamp of the last
+    /// logged event (events are pushed in emission order).
+    pub fn duration_us(&self) -> u64 {
+        self.events.last().map_or(0, |e| e.time_us)
+    }
+
     /// Number of events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -171,6 +186,16 @@ mod tests {
     fn handshake_flag() {
         assert!(sample_trace().handshake_completed());
         assert!(!TraceLog::new("client").handshake_completed());
+    }
+
+    #[test]
+    fn virtual_times() {
+        let t = sample_trace();
+        assert_eq!(t.handshake_time_us(), Some(40_001));
+        assert_eq!(t.duration_us(), 80_001);
+        let empty = TraceLog::new("client");
+        assert_eq!(empty.handshake_time_us(), None);
+        assert_eq!(empty.duration_us(), 0);
     }
 
     #[test]

@@ -243,6 +243,19 @@ impl LabScratch {
         self.client_events = outcome.client_qlog.events;
         self.server_events = outcome.server_qlog.events;
     }
+
+    /// Returns a client qlog event buffer that was taken *out* of an
+    /// outcome (e.g. captured for inspection, then discarded) so the next
+    /// run reuses its allocation. Only useful when [`reclaim`] saw an
+    /// already-emptied trace.
+    ///
+    /// [`reclaim`]: LabScratch::reclaim
+    pub fn restock_client_events(&mut self, mut events: Vec<LoggedEvent>) {
+        events.clear();
+        if events.capacity() > self.client_events.capacity() {
+            self.client_events = events;
+        }
+    }
 }
 
 /// Timer token for transport timeouts.

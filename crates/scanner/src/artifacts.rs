@@ -8,13 +8,24 @@
 //! registry instead, and binaries decide what to render.
 
 use crate::campaign::Campaign;
+use crate::flight::{
+    AnomalyIndex, FlightRecording, TraceSlot, TRACE_STORE_HEADER_LEN, TRACE_STORE_MAGIC,
+    TRACE_STORE_VERSION,
+};
 use crate::record::ScanOutcome;
-use quicspin_qlog::{encode_trace, EventData, QlogFile, TraceLog};
+use quicspin_qlog::{decode_trace, encode_trace, EventData, QlogFile, TraceLog};
 use quicspin_telemetry::{Metric, Registry, RunManifest, Stage};
+use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
 
 /// File name of the run manifest written next to campaign artifacts.
 pub const MANIFEST_FILE_NAME: &str = "metrics.json";
+
+/// File name of the flight recorder's anomaly index.
+pub const ANOMALY_INDEX_FILE_NAME: &str = "anomalies.json";
+
+/// File name of the flight recorder's binary trace store.
+pub const TRACE_STORE_FILE_NAME: &str = "traces.bin";
 
 /// Collects every retained qlog trace of a campaign into one qlog file.
 /// Requires the campaign to have run with `keep_qlogs`.
@@ -84,11 +95,101 @@ pub fn write_run_manifest(dir: &Path, manifest: &RunManifest) -> std::io::Result
     Ok(path)
 }
 
-/// Reads a [`RunManifest`] back from `dir`.
+/// Reads a [`RunManifest`] back from `dir`. A missing file or corrupt
+/// JSON both yield a descriptive error naming the path.
 pub fn read_run_manifest(dir: &Path) -> std::io::Result<RunManifest> {
-    let json = std::fs::read_to_string(dir.join(MANIFEST_FILE_NAME))?;
-    serde_json::from_str(&json)
-        .map_err(|e| std::io::Error::other(format!("manifest parse failed: {e}")))
+    let path = dir.join(MANIFEST_FILE_NAME);
+    let json = std::fs::read_to_string(&path).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("cannot read run manifest {}: {e}", path.display()),
+        )
+    })?;
+    serde_json::from_str(&json).map_err(|e| {
+        std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("corrupt run manifest {}: {e}", path.display()),
+        )
+    })
+}
+
+/// Writes a [`FlightRecording`]'s artifacts into `dir` (created if
+/// missing): the [`AnomalyIndex`] as pretty-printed JSON named
+/// [`ANOMALY_INDEX_FILE_NAME`], and the binary trace store named
+/// [`TRACE_STORE_FILE_NAME`]. Returns `(index_path, store_path)`.
+pub fn write_flight_recording(
+    dir: &Path,
+    recording: &FlightRecording,
+) -> std::io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let index_path = dir.join(ANOMALY_INDEX_FILE_NAME);
+    let json = serde_json::to_string_pretty(&recording.index())
+        .map_err(|e| std::io::Error::other(format!("anomaly index serialization failed: {e}")))?;
+    std::fs::write(&index_path, json)?;
+    let store_path = dir.join(TRACE_STORE_FILE_NAME);
+    std::fs::write(&store_path, recording.trace_store())?;
+    Ok((index_path, store_path))
+}
+
+/// Reads the [`AnomalyIndex`] back from `dir`, with the same descriptive
+/// error contract as [`read_run_manifest`].
+pub fn read_anomaly_index(dir: &Path) -> std::io::Result<AnomalyIndex> {
+    let path = dir.join(ANOMALY_INDEX_FILE_NAME);
+    let json = std::fs::read_to_string(&path).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("cannot read anomaly index {}: {e}", path.display()),
+        )
+    })?;
+    serde_json::from_str(&json).map_err(|e| {
+        std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("corrupt anomaly index {}: {e}", path.display()),
+        )
+    })
+}
+
+/// Loads and decodes one retained trace from `dir`'s trace store, using
+/// the slot's offset/length from the anomaly index.
+pub fn read_flagged_trace(dir: &Path, slot: &TraceSlot) -> std::io::Result<TraceLog> {
+    let path = dir.join(TRACE_STORE_FILE_NAME);
+    let store = std::fs::read(&path).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("cannot read trace store {}: {e}", path.display()),
+        )
+    })?;
+    if store.len() < TRACE_STORE_HEADER_LEN
+        || &store[..4] != TRACE_STORE_MAGIC
+        || store[4] != TRACE_STORE_VERSION
+    {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("corrupt trace store {}: bad header", path.display()),
+        ));
+    }
+    let lo = usize::try_from(slot.offset).unwrap_or(usize::MAX);
+    let hi = lo.saturating_add(usize::try_from(slot.len).unwrap_or(usize::MAX));
+    let bytes = store.get(lo..hi).ok_or_else(|| {
+        std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!(
+                "trace slot for probe {} out of bounds in {}",
+                slot.probe,
+                path.display()
+            ),
+        )
+    })?;
+    decode_trace(bytes).map_err(|e| {
+        std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!(
+                "corrupt trace for probe {} in {}: {e:?}",
+                slot.probe,
+                path.display()
+            ),
+        )
+    })
 }
 
 #[cfg(test)]

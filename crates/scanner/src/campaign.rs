@@ -7,6 +7,7 @@
 //! shard. Per-batch results are merged in batch-index order, which makes
 //! the output bit-identical for any thread count.
 
+use crate::flight::{FlightConfig, FlightRecording, FlightShard};
 use crate::probe::{probe_connection_scratch, NetworkConditions, ProbeScratch};
 use crate::record::{ConnectionRecord, ScanOutcome};
 use quicspin_core::{GreaseFilter, ObserverConfig};
@@ -47,6 +48,10 @@ pub struct CampaignConfig {
     /// [`run_campaign_with_progress`](Scanner::run_campaign_with_progress))
     /// to collect metrics. Telemetry never changes the records produced.
     pub telemetry: Arc<Registry>,
+    /// Flight-recorder configuration. Disabled by default; the
+    /// [`run_campaign_flight`](Scanner::run_campaign_flight) family
+    /// force-enables it. Detection never changes the records produced.
+    pub flight: FlightConfig,
 }
 
 impl Default for CampaignConfig {
@@ -60,6 +65,7 @@ impl Default for CampaignConfig {
             grease: GreaseFilter::paper(),
             keep_qlogs: false,
             telemetry: Arc::new(Registry::disabled()),
+            flight: FlightConfig::default(),
         }
     }
 }
@@ -71,7 +77,7 @@ impl CampaignConfig {
             key: key.to_string(),
             value,
         };
-        vec![
+        let mut entries = vec![
             entry("week", self.week.to_string()),
             entry("ip_version", format!("{:?}", self.version)),
             entry("threads", self.threads.to_string()),
@@ -79,7 +85,31 @@ impl CampaignConfig {
             entry("reorder", self.conditions.reorder.to_string()),
             entry("jitter_frac", self.conditions.jitter_frac.to_string()),
             entry("keep_qlogs", self.keep_qlogs.to_string()),
-        ]
+        ];
+        if self.flight.enabled {
+            entries.push(entry("flight_seed", format!("{:#018x}", self.flight.seed)));
+            entries.push(entry(
+                "flight_retention_budget_bytes",
+                self.flight.retention_budget_bytes.to_string(),
+            ));
+            entries.push(entry(
+                "flight_rtt_divergence_threshold",
+                self.flight.rtt_divergence_threshold.to_string(),
+            ));
+            entries.push(entry(
+                "flight_baseline_sample_every",
+                self.flight.baseline_sample_every.to_string(),
+            ));
+        }
+        entries
+    }
+
+    /// Deterministic campaign identifier: week, IP version, flight seed.
+    pub fn campaign_id(&self) -> String {
+        format!(
+            "week{}-{:?}-seed{:016x}",
+            self.week, self.version, self.flight.seed
+        )
     }
 }
 
@@ -139,6 +169,37 @@ impl<'p> Scanner<'p> {
     /// `out` and reusing per-worker `scratch` across probes — the form the
     /// campaign engine drives in its hot loop.
     pub fn scan_domain_into(
+        &self,
+        domain_id: u32,
+        config: &CampaignConfig,
+        scratch: &mut ProbeScratch,
+        out: &mut Vec<ConnectionRecord>,
+    ) {
+        scratch.flight_inspect = config.flight.enabled;
+        if !config.flight.enabled {
+            self.scan_domain_hops(domain_id, config, scratch, out);
+            return;
+        }
+        let start = out.len();
+        self.scan_domain_hops(domain_id, config, scratch, out);
+        let flagged = scratch.flight.inspect_domain(&config.flight, &out[start..]);
+        if flagged > 0 {
+            scratch.telemetry.add(Metric::AnomaliesFlagged, flagged);
+        }
+        // Traces were captured only for inspection: strip them again (the
+        // records must match a non-flight campaign exactly) and recycle
+        // their event buffers into the lab scratch.
+        if !config.keep_qlogs {
+            for record in &mut out[start..] {
+                if let Some(trace) = record.qlog.take() {
+                    scratch.restock_qlog(trace);
+                }
+            }
+        }
+    }
+
+    /// The redirect-following probe loop shared by flight and plain scans.
+    fn scan_domain_hops(
         &self,
         domain_id: u32,
         config: &CampaignConfig,
@@ -277,12 +338,35 @@ impl<'p> Scanner<'p> {
         F: Fn(&mut A, &mut Vec<ConnectionRecord>) + Sync,
         M: Fn(&mut A, A),
     {
+        self.run_campaign_fold_flight(config, ids, init, fold, merge)
+            .0
+    }
+
+    /// [`run_campaign_fold`](Scanner::run_campaign_fold), additionally
+    /// returning the merged (not yet finalized) flight-recorder shard.
+    /// With `config.flight` disabled the shard is empty.
+    fn run_campaign_fold_flight<A, I, F, M>(
+        &self,
+        config: &CampaignConfig,
+        ids: std::ops::Range<u32>,
+        init: I,
+        fold: F,
+        merge: M,
+    ) -> (A, FlightShard)
+    where
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(&mut A, &mut Vec<ConnectionRecord>) + Sync,
+        M: Fn(&mut A, A),
+    {
         let threads = config.threads.max(1);
         let batches = (ids.end.saturating_sub(ids.start)).div_ceil(BATCH_SIZE);
         let cursor = AtomicU32::new(0);
         // One worker loop, shared by the sequential and threaded paths so
-        // both build the exact same per-batch accumulation tree.
-        let worker = |out: &mut Vec<(u32, A)>| {
+        // both build the exact same per-batch accumulation tree. Each
+        // worker hands back its flight shard; shard merge order does not
+        // matter because finalization canonicalizes the contents.
+        let worker = |out: &mut Vec<(u32, A)>| -> FlightShard {
             let reg = &*config.telemetry;
             let mut scratch = ProbeScratch::default();
             scratch.telemetry.set_enabled(reg.is_enabled());
@@ -318,30 +402,34 @@ impl<'p> Scanner<'p> {
             }
             reg.absorb(&scratch.telemetry);
             reg.incr(Metric::WorkersFinished);
+            std::mem::take(&mut scratch.flight)
         };
 
-        let mut tagged: Vec<(u32, A)> = if threads == 1 || batches <= 1 {
+        let (mut tagged, flight): (Vec<(u32, A)>, FlightShard) = if threads == 1 || batches <= 1 {
             let mut out = Vec::new();
-            worker(&mut out);
-            out
+            let shard = worker(&mut out);
+            (out, shard)
         } else {
             let workers = threads.min(batches as usize);
             let mut parts: Vec<Vec<(u32, A)>> = Vec::new();
+            let mut flight = FlightShard::default();
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         scope.spawn(|| {
                             let mut out = Vec::new();
-                            worker(&mut out);
-                            out
+                            let shard = worker(&mut out);
+                            (out, shard)
                         })
                     })
                     .collect();
                 for handle in handles {
-                    parts.push(handle.join().expect("scan worker panicked"));
+                    let (out, shard) = handle.join().expect("scan worker panicked");
+                    parts.push(out);
+                    flight.merge(shard);
                 }
             });
-            parts.into_iter().flatten().collect()
+            (parts.into_iter().flatten().collect(), flight)
         };
 
         tagged.sort_by_key(|&(batch, _)| batch);
@@ -349,7 +437,67 @@ impl<'p> Scanner<'p> {
         for (_, batch_acc) in tagged {
             merge(&mut acc, batch_acc);
         }
-        acc
+        (acc, flight)
+    }
+
+    /// Runs a full sweep with the flight recorder armed: every probe is
+    /// inspected for anomalies and flagged probes' qlog traces are
+    /// retained (bounded by `config.flight.retention_budget_bytes`).
+    /// The records are identical to a plain [`run_campaign`]
+    /// (inspection-only traces are stripped again unless `keep_qlogs`),
+    /// and the recording is deterministic for any thread count.
+    ///
+    /// [`run_campaign`]: Scanner::run_campaign
+    pub fn run_campaign_flight(&self, config: &CampaignConfig) -> (Campaign, FlightRecording) {
+        let n = self.population.len() as u32;
+        self.run_campaign_flight_over(config, 0..n)
+    }
+
+    /// [`run_campaign_flight`](Scanner::run_campaign_flight) over a
+    /// subrange of domain ids.
+    pub fn run_campaign_flight_over(
+        &self,
+        config: &CampaignConfig,
+        ids: std::ops::Range<u32>,
+    ) -> (Campaign, FlightRecording) {
+        let mut config = config.clone();
+        config.flight.enabled = true;
+        let (records, shard) = self.run_campaign_fold_flight(
+            &config,
+            ids,
+            Vec::new,
+            |acc: &mut Vec<ConnectionRecord>, domain: &mut Vec<ConnectionRecord>| {
+                acc.append(domain);
+            },
+            |acc, mut batch| acc.append(&mut batch),
+        );
+        // The index must be byte-identical for any worker count, so the
+        // config echo drops the one execution-environment entry; the run
+        // manifest still records it.
+        let index_config = config
+            .config_entries()
+            .into_iter()
+            .filter(|e| e.key != "threads")
+            .collect();
+        let recording =
+            FlightRecording::new(shard, &config.flight, config.campaign_id(), index_config);
+        let reg = &*config.telemetry;
+        if reg.is_enabled() {
+            reg.add(
+                Metric::FlightTracesRetained,
+                recording.retained().len() as u64,
+            );
+            reg.add(Metric::FlightTracesEvicted, recording.evicted_traces());
+            reg.add(Metric::FlightTraceBytesRetained, recording.retained_bytes());
+        }
+        (
+            Campaign {
+                week: config.week,
+                version: config.version,
+                records,
+            },
+            recording,
+        )
     }
 
     /// Runs a full sweep with live progress reporting and a run manifest.
@@ -367,8 +515,45 @@ impl<'p> Scanner<'p> {
         &self,
         config: &CampaignConfig,
         progress_every: Duration,
-        mut sink: F,
+        sink: F,
     ) -> (Campaign, RunManifest)
+    where
+        F: FnMut(&str) + Send,
+    {
+        self.run_with_progress_impl(config, progress_every, sink, |scanner, cfg| {
+            scanner.run_campaign(cfg)
+        })
+    }
+
+    /// [`run_campaign_flight`](Scanner::run_campaign_flight) with the
+    /// same live progress reporting and run manifest as
+    /// [`run_campaign_with_progress`](Scanner::run_campaign_with_progress).
+    /// Write the recording next to `metrics.json` with
+    /// [`write_flight_recording`](crate::artifacts::write_flight_recording).
+    pub fn run_campaign_flight_with_progress<F>(
+        &self,
+        config: &CampaignConfig,
+        progress_every: Duration,
+        sink: F,
+    ) -> (Campaign, FlightRecording, RunManifest)
+    where
+        F: FnMut(&str) + Send,
+    {
+        let ((campaign, recording), manifest) =
+            self.run_with_progress_impl(config, progress_every, sink, |scanner, cfg| {
+                scanner.run_campaign_flight(cfg)
+            });
+        (campaign, recording, manifest)
+    }
+
+    /// Shared monitor-thread scaffolding for the `*_with_progress` family.
+    fn run_with_progress_impl<F, T>(
+        &self,
+        config: &CampaignConfig,
+        progress_every: Duration,
+        mut sink: F,
+        run: impl FnOnce(&Scanner<'p>, &CampaignConfig) -> T,
+    ) -> (T, RunManifest)
     where
         F: FnMut(&str) + Send,
     {
@@ -384,7 +569,7 @@ impl<'p> Scanner<'p> {
 
         let started = Instant::now();
         let stop = AtomicBool::new(false);
-        let campaign = std::thread::scope(|scope| {
+        let result = std::thread::scope(|scope| {
             let monitor_reg = Arc::clone(&reg);
             let stop_flag = &stop;
             let sink_ref = &mut sink;
@@ -406,16 +591,16 @@ impl<'p> Scanner<'p> {
                     sink_ref(&snap.render());
                 }
             });
-            let campaign = self.run_campaign(&config);
+            let result = run(self, &config);
             stop.store(true, Ordering::Relaxed);
             monitor.join().expect("progress monitor panicked");
-            campaign
+            result
         });
 
         let manifest = reg.manifest(config.config_entries(), elapsed_ns(started));
         sink(&reg.progress(total, manifest.wall_time_ns).render());
         sink(&manifest.summary_table());
-        (campaign, manifest)
+        (result, manifest)
     }
 }
 

@@ -17,15 +17,21 @@
 
 pub mod artifacts;
 pub mod campaign;
+pub mod flight;
 pub mod longitudinal;
 pub mod probe;
 pub mod record;
 
 pub use artifacts::{
-    export_binary_stripped, export_binary_stripped_telemetry, export_qlogs, read_run_manifest,
-    strip_for_release, write_run_manifest, MANIFEST_FILE_NAME,
+    export_binary_stripped, export_binary_stripped_telemetry, export_qlogs, read_anomaly_index,
+    read_flagged_trace, read_run_manifest, strip_for_release, write_flight_recording,
+    write_run_manifest, ANOMALY_INDEX_FILE_NAME, MANIFEST_FILE_NAME, TRACE_STORE_FILE_NAME,
 };
 pub use campaign::{Campaign, CampaignConfig, Scanner};
+pub use flight::{
+    Anomaly, AnomalyIndex, AnomalyKind, FlightConfig, FlightRecording, FlightShard, ProbeId,
+    RetainedTrace, TraceSlot, VirtualStageSummary, ANOMALY_SCHEMA_VERSION,
+};
 pub use longitudinal::{run_longitudinal, DomainWeeks, LongitudinalConfig, LongitudinalResult};
 pub use probe::{probe_connection, probe_connection_scratch, NetworkConditions, ProbeScratch};
 pub use quicspin_telemetry::{ProgressSnapshot, Registry, RunManifest};

@@ -29,6 +29,22 @@ pub struct ProbeScratch {
     lab: LabScratch,
     /// Worker-private telemetry buffer (see [`quicspin_telemetry`]).
     pub telemetry: WorkerShard,
+    /// When set (by a flight-recorder campaign), probes capture the client
+    /// qlog trace on the record even if `keep_qlog` is off, so the
+    /// recorder can inspect it. The campaign engine strips and recycles
+    /// the trace again after inspection via [`ProbeScratch::restock_qlog`].
+    pub flight_inspect: bool,
+    /// Worker-private flight-recorder state (anomalies + retained traces),
+    /// merged at fold time like [`ProbeScratch::telemetry`].
+    pub flight: crate::flight::FlightShard,
+}
+
+impl ProbeScratch {
+    /// Returns a qlog trace captured only for flight-recorder inspection,
+    /// recycling its event buffer for the next probe.
+    pub fn restock_qlog(&mut self, trace: quicspin_qlog::TraceLog) {
+        self.lab.restock_client_events(trace.events);
+    }
 }
 
 /// Maps one lab run's plain stats into the worker's telemetry shard.
@@ -245,7 +261,14 @@ pub fn probe_connection_scratch(
 
     if !outcome.handshake_completed {
         scratch.telemetry.incr(Metric::HandshakesFailed);
-        let qlog = keep_qlog.then(|| std::mem::take(&mut outcome.client_qlog));
+        let qlog = (keep_qlog || scratch.flight_inspect).then(|| {
+            let mut trace = std::mem::take(&mut outcome.client_qlog);
+            trace.title = domain.www_name();
+            if scratch.flight_inspect {
+                scratch.telemetry.incr(Metric::FlightTracesInspected);
+            }
+            trace
+        });
         let record = ConnectionRecord {
             domain_id: domain.id,
             list: domain.list,
@@ -281,10 +304,15 @@ pub fn probe_connection_scratch(
     );
     let t = scratch.telemetry.record_lap(Stage::Classify, t);
 
-    let qlog = keep_qlog.then(|| {
+    let qlog = (keep_qlog || scratch.flight_inspect).then(|| {
         let mut trace = std::mem::take(&mut outcome.client_qlog);
         trace.title = domain.www_name();
-        scratch.telemetry.incr(Metric::QlogTracesRetained);
+        if keep_qlog {
+            scratch.telemetry.incr(Metric::QlogTracesRetained);
+        }
+        if scratch.flight_inspect {
+            scratch.telemetry.incr(Metric::FlightTracesInspected);
+        }
         trace
     });
     if keep_qlog {

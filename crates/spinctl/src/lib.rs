@@ -1,0 +1,551 @@
+//! # quicspin-spinctl — flight-recorder command line
+//!
+//! Operator tooling over the campaign flight recorder's artifacts: the
+//! anomaly index (`anomalies.json`), the binary trace store
+//! (`traces.bin`), and the run manifest (`metrics.json`) all written by
+//! the scanner into one campaign directory.
+//!
+//! Subcommands:
+//!
+//! * `spinctl run` — run a small flight-recorded campaign against a
+//!   synthetic population and write all three artifacts;
+//! * `spinctl summary` — campaign id, retention budget usage, anomaly
+//!   counts by kind, the RTT-divergence distribution, virtual stage
+//!   latencies, and the run-manifest counters;
+//! * `spinctl anomalies` — list flagged probes, filterable by kind;
+//! * `spinctl trace <probe-id>` — decode one retained trace and render
+//!   its per-connection timeline (packet numbers, spin values, edge
+//!   markers) plus the spin-vs-stack RTT samples side by side.
+//!
+//! The library half exists so the rendering is testable; `main.rs` is a
+//! thin wrapper around [`run`].
+
+use quicspin_analysis::Histogram;
+use quicspin_core::reorder::ReorderComparison;
+use quicspin_core::{ObserverConfig, PacketObservation};
+use quicspin_qlog::render_timeline;
+use quicspin_scanner::{
+    read_anomaly_index, read_flagged_trace, read_run_manifest, write_flight_recording,
+    write_run_manifest, AnomalyIndex, AnomalyKind, CampaignConfig, FlightConfig, ProbeId, Scanner,
+};
+use quicspin_webpop::{Population, PopulationConfig};
+use std::fmt::Write as _;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Default artifact directory when `--dir` is not given.
+pub const DEFAULT_DIR: &str = "target/flight";
+
+const USAGE: &str = "\
+spinctl — QUIC spin-bit campaign flight recorder
+
+USAGE:
+    spinctl run       [--dir DIR] [--domains N] [--seed S] [--threads T]
+                      [--budget-bytes B] [--sample-every K]
+    spinctl summary   [--dir DIR]
+    spinctl anomalies [--dir DIR] [--kind KIND] [--limit N]
+    spinctl trace     (<probe-id> | --first) [--dir DIR]
+
+`run` sweeps a synthetic population with the flight recorder armed and
+writes metrics.json, anomalies.json, and traces.bin into DIR.
+`<probe-id>` is `domain` or `domain:hop`, as printed by `anomalies`.
+KIND is one of: rtt-divergence, invalid-spin-edge, classification-flip,
+handshake-failure, stage-outlier, baseline-sample.
+";
+
+/// Executes one spinctl invocation. `args` excludes the program name.
+/// All output goes to `out`; errors (including usage errors) come back
+/// as the `Err` string for the binary to print and exit non-zero.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "run" => cmd_run(rest, out),
+        "summary" => cmd_summary(rest, out),
+        "anomalies" => cmd_anomalies(rest, out),
+        "trace" => cmd_trace(rest, out),
+        "help" | "--help" | "-h" => {
+            write!(out, "{USAGE}").map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Argument parsing (hand-rolled; no external dependencies)
+// ---------------------------------------------------------------------------
+
+struct ParsedArgs {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// Splits `args` into positionals, `--flag value` pairs, and bare
+    /// `--switch`es (from `switch_names`).
+    fn parse(args: &[String], switch_names: &[&str]) -> Result<ParsedArgs, String> {
+        let mut out = ParsedArgs {
+            positional: Vec::new(),
+            flags: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut iter = args.iter();
+        while let Some(a) = iter.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if switch_names.contains(&name) {
+                    out.switches.push(name.to_string());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} needs a value\n\n{USAGE}"))?;
+                    out.flags.push((name.to_string(), value.clone()));
+                }
+            } else {
+                out.positional.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value {raw:?} for --{name}")),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    fn dir(&self) -> PathBuf {
+        PathBuf::from(self.get("dir").unwrap_or(DEFAULT_DIR))
+    }
+
+    fn ensure_known(&self, known: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.flags {
+            if !known.contains(&k.as_str()) {
+                return Err(format!("unknown flag --{k}\n\n{USAGE}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn load_index(dir: &Path) -> Result<AnomalyIndex, String> {
+    read_anomaly_index(dir).map_err(|e| format!("{e}\n(run `spinctl run --dir ...` first?)"))
+}
+
+// ---------------------------------------------------------------------------
+// spinctl run
+// ---------------------------------------------------------------------------
+
+fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let args = ParsedArgs::parse(args, &[])?;
+    args.ensure_known(&[
+        "dir",
+        "domains",
+        "seed",
+        "threads",
+        "budget-bytes",
+        "sample-every",
+    ])?;
+    if !args.positional.is_empty() {
+        return Err(format!(
+            "unexpected argument {:?}\n\n{USAGE}",
+            args.positional[0]
+        ));
+    }
+    let dir = args.dir();
+    let domains: u32 = args.get_parsed("domains", 600)?;
+    let seed: u64 = args.get_parsed("seed", 23)?;
+    let threads: usize = args.get_parsed("threads", 1)?;
+    let budget: u64 = args.get_parsed("budget-bytes", 2 << 20)?;
+    let sample_every: u64 = args.get_parsed("sample-every", 64)?;
+
+    let population = Population::generate(PopulationConfig {
+        seed,
+        toplist_domains: domains / 8 + 1,
+        zone_domains: domains - domains / 8 - 1,
+    });
+    let mut flight = FlightConfig::armed(seed);
+    flight.retention_budget_bytes = budget;
+    flight.baseline_sample_every = sample_every;
+    let config = CampaignConfig {
+        threads,
+        flight,
+        ..CampaignConfig::default()
+    };
+    // The progress sink must be Send, so collect the monitor lines and
+    // replay them onto `out` once the sweep has joined.
+    let mut progress: Vec<String> = Vec::new();
+    let scanner = Scanner::new(&population);
+    let (campaign, recording, manifest) =
+        scanner.run_campaign_flight_with_progress(&config, Duration::from_secs(2), |line| {
+            progress.push(line.to_string())
+        });
+    let mut w = |s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
+    for line in &progress {
+        w(line.clone())?;
+    }
+    w(format!(
+        "campaign {}: {} domains, {} records, {} anomalies on {} probes",
+        recording.campaign_id(),
+        population.len(),
+        campaign.records.len(),
+        recording.anomalies().len(),
+        recording.flagged_traces(),
+    ))?;
+    w(format!(
+        "retained {} traces ({} B of {} B budget), evicted {}",
+        recording.retained().len(),
+        recording.retained_bytes(),
+        budget,
+        recording.evicted_traces(),
+    ))?;
+    let manifest_path = write_run_manifest(&dir, &manifest).map_err(|e| e.to_string())?;
+    let (index_path, store_path) =
+        write_flight_recording(&dir, &recording).map_err(|e| e.to_string())?;
+    w(format!("wrote {}", manifest_path.display()))?;
+    w(format!("wrote {}", index_path.display()))?;
+    w(format!("wrote {}", store_path.display()))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// spinctl summary
+// ---------------------------------------------------------------------------
+
+fn cmd_summary(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let args = ParsedArgs::parse(args, &[])?;
+    args.ensure_known(&["dir"])?;
+    let dir = args.dir();
+    let index = load_index(&dir)?;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "campaign {} (anomaly schema v{})",
+        index.campaign_id, index.schema_version
+    );
+    for entry in &index.config {
+        let _ = writeln!(text, "  {:<32} {}", entry.key, entry.value);
+    }
+    let _ = writeln!(
+        text,
+        "\nretention: {} probes flagged, {} traces retained ({} B of {} B budget), {} evicted",
+        index.flagged_traces,
+        index.retained_traces,
+        index.retained_bytes,
+        index.retention_budget_bytes,
+        index.evicted_traces,
+    );
+
+    let _ = writeln!(text, "\nanomalies by kind:");
+    let counts = index.counts_by_kind();
+    if counts.is_empty() {
+        let _ = writeln!(text, "  (none)");
+    }
+    for (kind, n) in counts {
+        let _ = writeln!(text, "  {:<20} {n}", kind.name());
+    }
+
+    let divergences: Vec<f64> = index
+        .of_kind(AnomalyKind::RttDivergence)
+        .map(|a| a.value)
+        .collect();
+    if !divergences.is_empty() {
+        let mut hist = Histogram::new(vec![0.10, 0.25, 0.50, 1.00, 2.00]);
+        for d in &divergences {
+            hist.add(*d);
+        }
+        let _ = writeln!(
+            text,
+            "\nspin-vs-stack RTT divergence (fraction of stack RTT, {} flagged probes):",
+            hist.total()
+        );
+        for (idx, share) in hist.shares().iter().enumerate() {
+            let _ = writeln!(
+                text,
+                "  {:<14} {:>5} ({:5.1}%)",
+                hist.bin_label(idx),
+                hist.counts[idx],
+                share * 100.0
+            );
+        }
+    }
+
+    if !index.stages.is_empty() {
+        let _ = writeln!(text, "\nvirtual connection stages (simulated time, µs):");
+        let _ = writeln!(
+            text,
+            "  {:<20} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "stage", "count", "p50", "p90", "p99", "max"
+        );
+        for s in &index.stages {
+            let _ = writeln!(
+                text,
+                "  {:<20} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                s.stage, s.count, s.p50_us, s.p90_us, s.p99_us, s.max_us
+            );
+        }
+    }
+
+    match read_run_manifest(&dir) {
+        Ok(manifest) => {
+            let _ = writeln!(text, "\n{}", manifest.summary_table());
+        }
+        Err(e) => {
+            let _ = writeln!(text, "\n(no run manifest: {e})");
+        }
+    }
+    write!(out, "{text}").map_err(|e| e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// spinctl anomalies
+// ---------------------------------------------------------------------------
+
+fn cmd_anomalies(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let args = ParsedArgs::parse(args, &[])?;
+    args.ensure_known(&["dir", "kind", "limit"])?;
+    let dir = args.dir();
+    let limit: usize = args.get_parsed("limit", 20)?;
+    let kind = match args.get("kind") {
+        None => None,
+        Some(raw) => Some(AnomalyKind::parse(raw).ok_or_else(|| {
+            let known: Vec<&str> = AnomalyKind::ALL.iter().map(|k| k.name()).collect();
+            format!(
+                "unknown kind {raw:?}; expected one of: {}",
+                known.join(", ")
+            )
+        })?),
+    };
+    let index = load_index(&dir)?;
+    let selected: Vec<_> = index
+        .anomalies
+        .iter()
+        .filter(|a| kind.is_none_or(|k| a.kind == k))
+        .collect();
+    writeln!(
+        out,
+        "{} anomalies{} ({} shown); * = trace retained",
+        selected.len(),
+        kind.map(|k| format!(" of kind {}", k.name()))
+            .unwrap_or_default(),
+        selected.len().min(limit)
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "{:<12} {:<20} {:>8} {:>10}  detail",
+        "probe", "kind", "severity", "value"
+    )
+    .map_err(|e| e.to_string())?;
+    for a in selected.iter().take(limit) {
+        let retained = if index.slot(a.probe).is_some() {
+            "*"
+        } else {
+            " "
+        };
+        writeln!(
+            out,
+            "{retained}{:<11} {:<20} {:>8} {:>10.3}  {}",
+            a.probe.to_string(),
+            a.kind.name(),
+            a.severity,
+            a.value,
+            a.detail
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// spinctl trace
+// ---------------------------------------------------------------------------
+
+fn cmd_trace(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let args = ParsedArgs::parse(args, &["first"])?;
+    args.ensure_known(&["dir"])?;
+    let dir = args.dir();
+    let index = load_index(&dir)?;
+    let probe: ProbeId = if args.has("first") {
+        index
+            .traces
+            .first()
+            .map(|s| s.probe)
+            .ok_or("no traces retained in this campaign")?
+    } else {
+        let raw = args
+            .positional
+            .first()
+            .ok_or(format!("expected a probe id (or --first)\n\n{USAGE}"))?;
+        raw.parse()
+            .map_err(|e: String| format!("invalid probe id {raw:?}: {e}"))?
+    };
+    let slot = index.slot(probe).ok_or_else(|| {
+        format!(
+            "probe {probe} has no retained trace (flagged probes with traces: \
+             `spinctl anomalies` rows marked *)"
+        )
+    })?;
+    let trace = read_flagged_trace(&dir, slot).map_err(|e| e.to_string())?;
+
+    writeln!(out, "{}", render_timeline(&trace)).map_err(|e| e.to_string())?;
+
+    let anomalies: Vec<_> = index
+        .anomalies
+        .iter()
+        .filter(|a| a.probe == probe)
+        .collect();
+    writeln!(out, "anomalies on probe {probe}:").map_err(|e| e.to_string())?;
+    for a in &anomalies {
+        writeln!(
+            out,
+            "  {:<20} severity {:>4}  value {:>10.3}  {}",
+            a.kind.name(),
+            a.severity,
+            a.value,
+            a.detail
+        )
+        .map_err(|e| e.to_string())?;
+    }
+
+    // Re-run the §3.3 comparison on the stored observations: the spin
+    // RTT estimate (packet-number sorted, as the paper's analysis does)
+    // next to the stack's own samples from the qlog RTT updates.
+    let observations: Vec<PacketObservation> = trace
+        .spin_observations()
+        .iter()
+        .map(|&(time_us, pn, spin)| PacketObservation::qlog(time_us, pn, spin))
+        .collect();
+    let comparison = ReorderComparison::run(&observations, ObserverConfig::default());
+    let spin = &comparison.samples_sorted_us;
+    let stack = trace.rtt_samples_us();
+    writeln!(out, "\nRTT samples (µs), spin estimator vs stack:").map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "  {:>4} {:>10} {:>10} {:>10}",
+        "#", "spin", "stack", "delta"
+    )
+    .map_err(|e| e.to_string())?;
+    for i in 0..spin.len().max(stack.len()) {
+        let s = spin.get(i).copied();
+        let k = stack.get(i).copied();
+        let cell = |v: Option<u64>| v.map_or("-".to_string(), |v| v.to_string());
+        let delta = match (s, k) {
+            (Some(s), Some(k)) => (s as i64 - k as i64).to_string(),
+            _ => "-".to_string(),
+        };
+        writeln!(
+            out,
+            "  {:>4} {:>10} {:>10} {:>10}",
+            i,
+            cell(s),
+            cell(k),
+            delta
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> Result<String, String> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("quicspin-spinctl-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn unknown_subcommand_and_flags_are_usage_errors() {
+        assert!(run_str(&["frobnicate"]).unwrap_err().contains("USAGE"));
+        assert!(run_str(&[]).unwrap_err().contains("USAGE"));
+        assert!(run_str(&["summary", "--bogus", "x"])
+            .unwrap_err()
+            .contains("--bogus"));
+        assert!(run_str(&["anomalies", "--kind", "nope"])
+            .unwrap_err()
+            .contains("rtt-divergence"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_str(&["help"]).unwrap().contains("spinctl run"));
+    }
+
+    #[test]
+    fn summary_on_missing_dir_is_descriptive() {
+        let err = run_str(&["summary", "--dir", "/nonexistent/quicspin"]).unwrap_err();
+        assert!(err.contains("anomalies.json"), "err: {err}");
+    }
+
+    #[test]
+    fn full_cli_cycle_on_a_tiny_campaign() {
+        let dir = temp_dir("cycle");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap();
+
+        let ran = run_str(&[
+            "run",
+            "--dir",
+            dir_s,
+            "--domains",
+            "220",
+            "--seed",
+            "7",
+            "--sample-every",
+            "16",
+        ])
+        .unwrap();
+        assert!(ran.contains("campaign week0-V4-seed"), "out: {ran}");
+        assert!(ran.contains("anomalies.json"), "out: {ran}");
+        assert!(dir.join("metrics.json").is_file());
+        assert!(dir.join("traces.bin").is_file());
+
+        let summary = run_str(&["summary", "--dir", dir_s]).unwrap();
+        assert!(summary.contains("anomalies by kind"), "out: {summary}");
+        assert!(summary.contains("retention:"), "out: {summary}");
+        assert!(summary.contains("campaign run manifest"), "out: {summary}");
+
+        let listed = run_str(&["anomalies", "--dir", dir_s, "--limit", "5"]).unwrap();
+        assert!(listed.contains("severity"), "out: {listed}");
+
+        let traced = run_str(&["trace", "--first", "--dir", dir_s]).unwrap();
+        assert!(traced.contains("spin observations"), "out: {traced}");
+        assert!(traced.contains("RTT samples"), "out: {traced}");
+        assert!(traced.contains("anomalies on probe"), "out: {traced}");
+
+        // The listed probe ids round-trip through the positional form.
+        let index = read_anomaly_index(&dir).unwrap();
+        let probe = index.traces.first().unwrap().probe;
+        let by_id = run_str(&["trace", &probe.to_string(), "--dir", dir_s]).unwrap();
+        assert_eq!(by_id, traced);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,12 @@
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(message) = quicspin_spinctl::run(&args, &mut out) {
+        let _ = out.flush();
+        eprintln!("{message}");
+        std::process::exit(1);
+    }
+}

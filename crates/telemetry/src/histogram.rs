@@ -160,6 +160,22 @@ impl HistogramShard {
         self.max
     }
 
+    /// An outlier threshold derived from the recorded distribution: the
+    /// `q`-quantile scaled by `multiplier` (e.g. `outlier_threshold(0.99,
+    /// 3.0)` flags values past 3× the p99). An empty histogram returns
+    /// `u64::MAX` — with no baseline, nothing can be called an outlier.
+    pub fn outlier_threshold(&self, q: f64, multiplier: f64) -> u64 {
+        if self.count == 0 {
+            return u64::MAX;
+        }
+        let scaled = self.quantile(q) as f64 * multiplier.max(0.0);
+        if scaled >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            scaled as u64
+        }
+    }
+
     /// Point-in-time export of the summary statistics.
     pub fn snapshot(&self, name: &str) -> StageSnapshot {
         StageSnapshot {
@@ -396,6 +412,91 @@ mod tests {
         for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
             assert_eq!(merged.quantile(q), single.quantile(q));
         }
+    }
+
+    #[test]
+    fn quantile_on_empty_shard_is_zero() {
+        let h = HistogramShard::default();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile(q), 0, "empty shard, q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_hit_exact_min_and_max() {
+        let mut h = HistogramShard::default();
+        for v in [17u64, 4_242, 99_999, 3] {
+            h.record(v);
+        }
+        // q = 0.0 and 1.0 must return the exactly-tracked bounds, not
+        // bucket approximations; out-of-range q clamps to the same.
+        assert_eq!(h.quantile(0.0), 3);
+        assert_eq!(h.quantile(1.0), 99_999);
+        assert_eq!(h.quantile(-0.5), 3);
+        assert_eq!(h.quantile(1.5), 99_999);
+        // Single-value shard: every quantile is that value.
+        let mut one = HistogramShard::default();
+        one.record(777);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 777);
+        }
+    }
+
+    /// Bucket width at `v` — the tolerance of any quantile estimate.
+    fn bucket_width(v: u64) -> u64 {
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        hi - lo
+    }
+
+    #[test]
+    fn merged_quantiles_match_sorted_vector_oracle() {
+        // Property check: split a value stream across shards, merge, and
+        // compare every quantile against the true rank statistic from a
+        // sorted vector. The estimate may only exceed the true value by
+        // less than one bucket width (~6% relative resolution).
+        let values: Vec<u64> = (0..4_000u64)
+            .map(|i| {
+                i.wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(i * i)
+                    % 5_000_000
+            })
+            .collect();
+        let n = 5;
+        let mut shards: Vec<HistogramShard> = (0..n).map(|_| HistogramShard::default()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % n].record(v);
+        }
+        let mut merged = HistogramShard::default();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let est = merged.quantile(q);
+            assert!(
+                truth <= est && est - truth < bucket_width(truth).max(1),
+                "q = {q}: oracle {truth}, estimate {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn outlier_threshold_scales_quantile() {
+        let empty = HistogramShard::default();
+        assert_eq!(empty.outlier_threshold(0.99, 3.0), u64::MAX);
+        let mut h = HistogramShard::default();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        let p99 = h.quantile(0.99);
+        assert_eq!(h.outlier_threshold(0.99, 3.0), p99 * 3);
+        assert_eq!(h.outlier_threshold(0.99, 0.0), 0);
+        // Negative multipliers clamp to zero, huge ones saturate.
+        assert_eq!(h.outlier_threshold(0.99, -5.0), 0);
+        assert_eq!(h.outlier_threshold(1.0, f64::MAX), u64::MAX);
     }
 
     #[test]

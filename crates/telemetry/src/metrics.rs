@@ -153,6 +153,16 @@ metric_enum! {
         QlogTracesRetained => "qlog_traces_retained",
         /// Bytes produced by compact binary qlog encoding.
         QlogBytesEncoded => "qlog_bytes_encoded",
+        /// Qlog traces captured solely for flight-recorder inspection.
+        FlightTracesInspected => "flight_traces_inspected",
+        /// Anomalies flagged by the campaign flight recorder.
+        AnomaliesFlagged => "anomalies_flagged",
+        /// Flagged traces retained under the flight retention budget.
+        FlightTracesRetained => "flight_traces_retained",
+        /// Flagged traces evicted to honour the retention budget.
+        FlightTracesEvicted => "flight_traces_evicted",
+        /// Bytes of binary-encoded flagged traces retained at fold time.
+        FlightTraceBytesRetained => "flight_trace_bytes_retained",
     }
 }
 

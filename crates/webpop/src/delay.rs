@@ -180,10 +180,22 @@ mod tests {
         let samples: Vec<f64> = (0..5000).map(|_| p.sample(&mut rng)).collect();
         assert!(samples.iter().all(|&v| v >= 2.0));
         let mut sorted = samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let median = sorted[sorted.len() / 2];
         assert!((median - 40.0).abs() < 4.0, "median {median}");
         assert!(sorted[sorted.len() - 1] > 100.0, "heavy tail present");
+    }
+
+    #[test]
+    fn total_cmp_sort_survives_nan_poisoning() {
+        // Regression: `partial_cmp(..).unwrap()` panics as soon as a NaN
+        // slips into the samples; `f64::total_cmp` is a total order that
+        // sorts NaN after every number instead.
+        let mut values = [40.0, f64::NAN, 2.0, f64::INFINITY, 17.5];
+        values.sort_by(f64::total_cmp);
+        assert_eq!(&values[..3], &[2.0, 17.5, 40.0]);
+        assert_eq!(values[3], f64::INFINITY);
+        assert!(values[4].is_nan());
     }
 
     #[test]

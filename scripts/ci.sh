@@ -9,3 +9,13 @@ cargo build --release
 cargo test -q --workspace
 cargo test -q -p quicspin-telemetry
 cargo bench -p quicspin-bench --bench campaign_throughput -- --test
+
+# spinctl smoke: tiny flight-recorded campaign, then read every artifact
+# back through the CLI (summary, anomaly listing, one rendered trace).
+SPINCTL_DIR="$(mktemp -d)"
+trap 'rm -rf "$SPINCTL_DIR"' EXIT
+cargo run --release -p quicspin-spinctl --bin spinctl -- \
+  run --dir "$SPINCTL_DIR" --domains 220 --seed 7 --sample-every 16
+cargo run --release -p quicspin-spinctl --bin spinctl -- summary --dir "$SPINCTL_DIR"
+cargo run --release -p quicspin-spinctl --bin spinctl -- anomalies --dir "$SPINCTL_DIR" --limit 5
+cargo run --release -p quicspin-spinctl --bin spinctl -- trace --first --dir "$SPINCTL_DIR"

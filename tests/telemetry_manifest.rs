@@ -88,6 +88,36 @@ fn instrumented_campaign_exports_complete_manifest() {
 }
 
 #[test]
+fn missing_manifest_yields_descriptive_not_found_error() {
+    let dir =
+        std::env::temp_dir().join(format!("quicspin-manifest-missing-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let err = read_run_manifest(&dir).expect_err("missing metrics.json must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    let message = err.to_string();
+    assert!(
+        message.contains("metrics.json") && message.contains("cannot read run manifest"),
+        "error must name the file and the failure: {message}"
+    );
+}
+
+#[test]
+fn corrupt_manifest_yields_descriptive_invalid_data_error() {
+    let dir =
+        std::env::temp_dir().join(format!("quicspin-manifest-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("metrics.json"), b"{\"schema_version\": oops").unwrap();
+    let err = read_run_manifest(&dir).expect_err("corrupt metrics.json must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let message = err.to_string();
+    assert!(
+        message.contains("corrupt run manifest") && message.contains("metrics.json"),
+        "error must name the file and the corruption: {message}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn telemetry_does_not_change_campaign_results() {
     let population = Population::generate(PopulationConfig {
         seed: 0x7e1e,

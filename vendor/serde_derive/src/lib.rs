@@ -12,8 +12,9 @@
 //!   struct variants;
 //! - externally tagged enums with unit and struct variants.
 //!
-//! Container attr `rename_all = "snake_case"` applies to variant names.
-//! All other attributes (`#[doc]`, `#[default]`, ...) are ignored.
+//! Container attr `rename_all = "snake_case"` / `rename_all = "kebab-case"`
+//! applies to variant names. All other attributes (`#[doc]`, `#[default]`,
+//! ...) are ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::iter::Peekable;
@@ -44,8 +45,14 @@ struct Variant {
 
 #[derive(Default)]
 struct ContainerAttrs {
-    snake_case: bool,
+    rename_all: Option<RenameRule>,
     tag: Option<String>,
+}
+
+#[derive(Clone, Copy)]
+enum RenameRule {
+    SnakeCase,
+    KebabCase,
 }
 
 enum Item {
@@ -97,7 +104,11 @@ fn parse_item(input: TokenStream) -> (ContainerAttrs, Item) {
                     for (key, value) in parse_serde_attr(g.stream()) {
                         match key.as_str() {
                             "rename_all" => {
-                                cattrs.snake_case = value.as_deref() == Some("snake_case");
+                                cattrs.rename_all = match value.as_deref() {
+                                    Some("snake_case") => Some(RenameRule::SnakeCase),
+                                    Some("kebab-case") => Some(RenameRule::KebabCase),
+                                    _ => None,
+                                };
                             }
                             "tag" => cattrs.tag = value,
                             _ => {}
@@ -275,12 +286,12 @@ fn strip_quotes(lit: &str) -> String {
     lit.trim_matches('"').to_string()
 }
 
-fn snake_case(name: &str) -> String {
+fn rename(name: &str, sep: char) -> String {
     let mut out = String::with_capacity(name.len() + 4);
     for (i, ch) in name.chars().enumerate() {
         if ch.is_ascii_uppercase() {
             if i > 0 {
-                out.push('_');
+                out.push(sep);
             }
             out.push(ch.to_ascii_lowercase());
         } else {
@@ -291,10 +302,10 @@ fn snake_case(name: &str) -> String {
 }
 
 fn variant_key(name: &str, attrs: &ContainerAttrs) -> String {
-    if attrs.snake_case {
-        snake_case(name)
-    } else {
-        name.to_string()
+    match attrs.rename_all {
+        Some(RenameRule::SnakeCase) => rename(name, '_'),
+        Some(RenameRule::KebabCase) => rename(name, '-'),
+        None => name.to_string(),
     }
 }
 
