@@ -6,7 +6,8 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use quicspin_bench::bench_population;
 use quicspin_scanner::{
-    CampaignConfig, FlightConfig, NetworkConditions, ProbeScratch, Registry, ScanOutcome, Scanner,
+    build_timeseries, CampaignConfig, FlightConfig, NetworkConditions, ProbeScratch, Registry,
+    ScanOutcome, Scanner,
 };
 use std::sync::Arc;
 
@@ -95,6 +96,14 @@ fn telemetry_overhead(c: &mut Criterion) {
     };
     group.bench_function("campaign_flight_recorder", |b| {
         b.iter(|| scanner.run_campaign_flight(std::hint::black_box(&flight)))
+    });
+    // Post-hoc time-series build (PR 4): replay the merged record stream
+    // into the bounded deterministic ring. Runs once per campaign after
+    // the sweep joins, so its cost is off the probe hot path entirely;
+    // this case documents that it stays ~1% of the sweep itself.
+    let campaign = scanner.run_campaign(&disabled);
+    group.bench_function("timeseries_build", |b| {
+        b.iter(|| build_timeseries(std::hint::black_box(&campaign), &disabled, 512))
     });
     group.finish();
 }

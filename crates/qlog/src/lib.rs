@@ -15,11 +15,13 @@
 //! (2) the QUIC packet number, and (3) the corresponding timestamp".
 
 pub mod binary;
+pub mod chrome;
 pub mod events;
 pub mod render;
 pub mod trace;
 
 pub use binary::{decode_trace, encode_trace, BinaryError};
+pub use chrome::{chrome_trace_events, ChromeArgs, ChromeEvent};
 pub use events::{EventData, LoggedEvent, PacketSpace};
 pub use render::{render_timeline, timeline, TimelineRow};
 pub use trace::{QlogFile, TraceLog};

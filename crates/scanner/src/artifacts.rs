@@ -13,8 +13,8 @@ use crate::flight::{
     TRACE_STORE_VERSION,
 };
 use crate::record::ScanOutcome;
-use quicspin_qlog::{decode_trace, encode_trace, EventData, QlogFile, TraceLog};
-use quicspin_telemetry::{Metric, Registry, RunManifest, Stage};
+use quicspin_qlog::{decode_trace, encode_trace, ChromeEvent, EventData, QlogFile, TraceLog};
+use quicspin_telemetry::{Metric, Registry, RunManifest, Stage, TimeSeriesDoc};
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
 
@@ -26,6 +26,12 @@ pub const ANOMALY_INDEX_FILE_NAME: &str = "anomalies.json";
 
 /// File name of the flight recorder's binary trace store.
 pub const TRACE_STORE_FILE_NAME: &str = "traces.bin";
+
+/// File name of the deterministic campaign time series.
+pub const TIMESERIES_FILE_NAME: &str = "timeseries.json";
+
+/// File name of the Chrome trace-event export (Perfetto-loadable).
+pub const CHROME_TRACE_FILE_NAME: &str = "trace.json";
 
 /// Collects every retained qlog trace of a campaign into one qlog file.
 /// Requires the campaign to have run with `keep_qlogs`.
@@ -109,6 +115,68 @@ pub fn read_run_manifest(dir: &Path) -> std::io::Result<RunManifest> {
         std::io::Error::new(
             ErrorKind::InvalidData,
             format!("corrupt run manifest {}: {e}", path.display()),
+        )
+    })
+}
+
+/// Writes a [`TimeSeriesDoc`] as pretty-printed JSON named
+/// [`TIMESERIES_FILE_NAME`] inside `dir` (created if missing). The output
+/// bytes are a pure function of the document, so a deterministic series
+/// produces a byte-identical file. Returns the path written.
+pub fn write_timeseries(dir: &Path, doc: &TimeSeriesDoc) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(TIMESERIES_FILE_NAME);
+    let json = serde_json::to_string_pretty(doc)
+        .map_err(|e| std::io::Error::other(format!("time series serialization failed: {e}")))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Reads a [`TimeSeriesDoc`] back from `dir`, with the same descriptive
+/// error contract as [`read_run_manifest`].
+pub fn read_timeseries(dir: &Path) -> std::io::Result<TimeSeriesDoc> {
+    let path = dir.join(TIMESERIES_FILE_NAME);
+    let json = std::fs::read_to_string(&path).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("cannot read time series {}: {e}", path.display()),
+        )
+    })?;
+    serde_json::from_str(&json).map_err(|e| {
+        std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("corrupt time series {}: {e}", path.display()),
+        )
+    })
+}
+
+/// Writes Chrome trace events as a JSON array named
+/// [`CHROME_TRACE_FILE_NAME`] inside `dir` (created if missing) — the
+/// array-of-events trace-event form Perfetto and `chrome://tracing` load
+/// directly. Returns the path written.
+pub fn write_chrome_trace(dir: &Path, events: &[ChromeEvent]) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(CHROME_TRACE_FILE_NAME);
+    let json = serde_json::to_string_pretty(&events)
+        .map_err(|e| std::io::Error::other(format!("chrome trace serialization failed: {e}")))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Reads the Chrome trace events back from `dir`, with the same
+/// descriptive error contract as [`read_run_manifest`].
+pub fn read_chrome_trace(dir: &Path) -> std::io::Result<Vec<ChromeEvent>> {
+    let path = dir.join(CHROME_TRACE_FILE_NAME);
+    let json = std::fs::read_to_string(&path).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("cannot read chrome trace {}: {e}", path.display()),
+        )
+    })?;
+    serde_json::from_str(&json).map_err(|e| {
+        std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("corrupt chrome trace {}: {e}", path.display()),
         )
     })
 }

@@ -12,7 +12,10 @@ use crate::probe::{probe_connection_scratch, NetworkConditions, ProbeScratch};
 use crate::record::{ConnectionRecord, ScanOutcome};
 use quicspin_core::{GreaseFilter, ObserverConfig};
 use quicspin_h3::MAX_REDIRECTS;
-use quicspin_telemetry::{ConfigEntry, GaugeId, Metric, Registry, RunManifest, Stage};
+use quicspin_telemetry::{
+    ConfigEntry, GaugeId, Metric, ProgressSnapshot, Registry, RunManifest, Stage, TimePoint,
+    TimeSeries, DEFAULT_TIMESERIES_CAPACITY,
+};
 use quicspin_webpop::{IpVersion, Population};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
@@ -569,39 +572,86 @@ impl<'p> Scanner<'p> {
 
         let started = Instant::now();
         let stop = AtomicBool::new(false);
-        let result = std::thread::scope(|scope| {
+        let (result, live) = std::thread::scope(|scope| {
             let monitor_reg = Arc::clone(&reg);
             let stop_flag = &stop;
             let sink_ref = &mut sink;
             let monitor = scope.spawn(move || {
+                // The live series samples the registry on each tick: wall
+                // clock, so display-only — the persisted timeseries.json is
+                // rebuilt deterministically from the record stream instead
+                // (see `crate::timeseries::build_timeseries`).
+                let mut live = TimeSeries::new(DEFAULT_TIMESERIES_CAPACITY);
                 let poll = Duration::from_millis(10).min(progress_every);
                 loop {
                     // Sleep in small slices so shutdown is prompt.
                     let wake = Instant::now() + progress_every;
                     while Instant::now() < wake {
                         if stop_flag.load(Ordering::Relaxed) {
-                            return;
+                            return live;
                         }
                         std::thread::sleep(poll);
                     }
                     if stop_flag.load(Ordering::Relaxed) {
-                        return;
+                        return live;
                     }
                     let snap = monitor_reg.progress(total, elapsed_ns(started));
+                    live.push(live_point(&monitor_reg, &snap));
                     sink_ref(&snap.render());
                 }
             });
             let result = run(self, &config);
             stop.store(true, Ordering::Relaxed);
-            monitor.join().expect("progress monitor panicked");
-            result
+            let live = monitor.join().expect("progress monitor panicked");
+            (result, live)
         });
 
         let manifest = reg.manifest(config.config_entries(), elapsed_ns(started));
         sink(&reg.progress(total, manifest.wall_time_ns).render());
+        if let Some(trend) = render_trend(&live) {
+            sink(&trend);
+        }
         sink(&manifest.summary_table());
         (result, manifest)
     }
+}
+
+/// Samples the registry into one live (wall-clock) time-series point.
+fn live_point(reg: &Registry, snap: &ProgressSnapshot) -> TimePoint {
+    let handshake = reg.stage_histogram(Stage::Handshake).to_shard();
+    let probe = reg.stage_histogram(Stage::Probe).to_shard();
+    TimePoint {
+        seq: 0, // assigned by TimeSeries on admission
+        probes: snap.completed,
+        records: reg.counter(Metric::RecordsProduced),
+        errors: snap.errored,
+        redirects: reg.counter(Metric::RedirectsFollowed),
+        elapsed_us: snap.elapsed_ns / 1_000,
+        queue_high_water: reg.gauge(GaugeId::NetsimQueueHighWater),
+        handshake_p50_us: handshake.quantile(0.50) / 1_000,
+        handshake_p99_us: handshake.quantile(0.99) / 1_000,
+        total_p50_us: probe.quantile(0.50) / 1_000,
+        total_p99_us: probe.quantile(0.99) / 1_000,
+        mix: Vec::new(),
+    }
+}
+
+/// One summary line of the live monitor series: how the average
+/// throughput and error rate moved across the sweep.
+fn render_trend(live: &TimeSeries) -> Option<String> {
+    let first = live.points().iter().find(|p| p.probes > 0)?;
+    let last = live.points().last()?;
+    if last.seq <= first.seq {
+        return None;
+    }
+    Some(format!(
+        "throughput trend: {} samples | {:.1} -> {:.1} probes/s | errors {:.1}% -> {:.1}%",
+        live.len(),
+        first.probes_per_sec(),
+        last.probes_per_sec(),
+        100.0 * first.error_rate(),
+        100.0 * last.error_rate(),
+    ))
 }
 
 /// Folds one scanned domain's outcome into the registry's live counters.
@@ -732,6 +782,35 @@ mod tests {
         // The sink saw the final progress line and the summary table.
         assert!(lines.iter().any(|l| l.contains("probes/s")));
         assert!(lines.iter().any(|l| l.contains("campaign run manifest")));
+    }
+
+    #[test]
+    fn monitor_ticks_report_monotonic_progress() {
+        // Each progress line is a registry snapshot taken by the monitor
+        // thread; completions only ever increase, so the reported counts
+        // must be non-decreasing and end on the full population (the final
+        // snapshot is emitted after the sweep joins).
+        let pop = tiny_pop();
+        let scanner = Scanner::new(&pop);
+        let mut lines: Vec<String> = Vec::new();
+        scanner.run_campaign_with_progress(&clean_config(), Duration::from_millis(1), |line| {
+            lines.push(line.to_string())
+        });
+        let counts: Vec<u64> = lines
+            .iter()
+            .filter_map(|l| l.strip_prefix("progress "))
+            .filter_map(|rest| rest.split('/').next()?.parse().ok())
+            .collect();
+        assert!(!counts.is_empty());
+        for pair in counts.windows(2) {
+            assert!(
+                pair[0] <= pair[1],
+                "monitor ticks regressed: {} then {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        assert_eq!(*counts.last().unwrap(), pop.len() as u64);
     }
 
     #[test]

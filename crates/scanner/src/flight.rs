@@ -102,7 +102,14 @@ impl FlightConfig {
 
     /// Derives the stage-outlier thresholds from a previous run's virtual
     /// stage histograms: anything past `multiplier` × the `q`-quantile is
-    /// an outlier. Empty histograms leave the threshold untouched.
+    /// an outlier.
+    ///
+    /// A histogram only yields a usable band when it has *shape*: an empty
+    /// histogram has no baseline at all, and one whose every sample landed
+    /// in a single bucket collapses p50 and p99 to the same value — worst
+    /// case (all samples in bucket 0) the derived threshold is 0 and every
+    /// future probe would be flagged. Such degenerate inputs leave the
+    /// corresponding threshold untouched.
     pub fn calibrate_outliers(
         &mut self,
         handshake_us: &HistogramShard,
@@ -110,13 +117,23 @@ impl FlightConfig {
         q: f64,
         multiplier: f64,
     ) {
-        if handshake_us.count() > 0 {
-            self.handshake_outlier_us = handshake_us.outlier_threshold(q, multiplier);
+        if let Some(threshold) = usable_outlier_threshold(handshake_us, q, multiplier) {
+            self.handshake_outlier_us = threshold;
         }
-        if total_us.count() > 0 {
-            self.total_outlier_us = total_us.outlier_threshold(q, multiplier);
+        if let Some(threshold) = usable_outlier_threshold(total_us, q, multiplier) {
+            self.total_outlier_us = threshold;
         }
     }
+}
+
+/// The calibration band from `histogram` if it has enough shape to trust:
+/// at least two occupied buckets and a strictly positive scaled quantile.
+fn usable_outlier_threshold(histogram: &HistogramShard, q: f64, multiplier: f64) -> Option<u64> {
+    if histogram.occupied_buckets() < 2 {
+        return None;
+    }
+    let threshold = histogram.outlier_threshold(q, multiplier);
+    (threshold > 0).then_some(threshold)
 }
 
 /// Identifies one probe: a domain plus the redirect hop within it.
@@ -779,6 +796,70 @@ mod tests {
         // flagged as baseline this week must be flagged next week too.
         assert_eq!(splitmix64(0) % 97, splitmix64(0) % 97);
         assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn calibrate_outliers_ignores_empty_histograms() {
+        let mut cfg = FlightConfig::default();
+        let (hs_default, total_default) = (cfg.handshake_outlier_us, cfg.total_outlier_us);
+        cfg.calibrate_outliers(
+            &HistogramShard::default(),
+            &HistogramShard::default(),
+            0.99,
+            3.0,
+        );
+        assert_eq!(cfg.handshake_outlier_us, hs_default);
+        assert_eq!(cfg.total_outlier_us, total_default);
+    }
+
+    #[test]
+    fn calibrate_outliers_rejects_single_bucket_histograms() {
+        // Regression: a prior run whose virtual handshake times all landed
+        // in bucket 0 (e.g. a loopback-fast sweep) used to calibrate the
+        // threshold to 0, flagging every subsequent probe as an outlier.
+        let mut degenerate = HistogramShard::default();
+        for _ in 0..1_000 {
+            degenerate.record(0);
+        }
+        assert_eq!(degenerate.outlier_threshold(0.99, 3.0), 0);
+
+        let mut spike = HistogramShard::default();
+        for _ in 0..1_000 {
+            spike.record(40_000); // one bucket, nonzero value
+        }
+
+        let mut cfg = FlightConfig::default();
+        let (hs_default, total_default) = (cfg.handshake_outlier_us, cfg.total_outlier_us);
+        cfg.calibrate_outliers(&degenerate, &spike, 0.99, 3.0);
+        assert_eq!(
+            cfg.handshake_outlier_us, hs_default,
+            "all-zero histogram must not zero the threshold"
+        );
+        assert_eq!(
+            cfg.total_outlier_us, total_default,
+            "single-bucket spike has no spread to calibrate from"
+        );
+    }
+
+    #[test]
+    fn calibrate_outliers_applies_healthy_histograms() {
+        let mut hs = HistogramShard::default();
+        let mut total = HistogramShard::default();
+        for v in 1..=1_000u64 {
+            hs.record(v * 40); // ~40µs spread
+            total.record(v * 100);
+        }
+        let mut cfg = FlightConfig::default();
+        cfg.calibrate_outliers(&hs, &total, 0.99, 3.0);
+        assert_eq!(cfg.handshake_outlier_us, hs.outlier_threshold(0.99, 3.0));
+        assert_eq!(cfg.total_outlier_us, total.outlier_threshold(0.99, 3.0));
+        assert!(cfg.handshake_outlier_us > 0);
+
+        // A zero multiplier scales any quantile to 0 — degenerate again,
+        // so the previous (calibrated) thresholds survive.
+        let before = (cfg.handshake_outlier_us, cfg.total_outlier_us);
+        cfg.calibrate_outliers(&hs, &total, 0.99, 0.0);
+        assert_eq!((cfg.handshake_outlier_us, cfg.total_outlier_us), before);
     }
 
     fn meta_trace(probe: ProbeId, severity: u64, len: usize) -> (TraceMeta, RetainedTrace) {

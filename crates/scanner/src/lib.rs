@@ -21,11 +21,14 @@ pub mod flight;
 pub mod longitudinal;
 pub mod probe;
 pub mod record;
+pub mod timeseries;
 
 pub use artifacts::{
     export_binary_stripped, export_binary_stripped_telemetry, export_qlogs, read_anomaly_index,
-    read_flagged_trace, read_run_manifest, strip_for_release, write_flight_recording,
-    write_run_manifest, ANOMALY_INDEX_FILE_NAME, MANIFEST_FILE_NAME, TRACE_STORE_FILE_NAME,
+    read_chrome_trace, read_flagged_trace, read_run_manifest, read_timeseries, strip_for_release,
+    write_chrome_trace, write_flight_recording, write_run_manifest, write_timeseries,
+    ANOMALY_INDEX_FILE_NAME, CHROME_TRACE_FILE_NAME, MANIFEST_FILE_NAME, TIMESERIES_FILE_NAME,
+    TRACE_STORE_FILE_NAME,
 };
 pub use campaign::{Campaign, CampaignConfig, Scanner};
 pub use flight::{
@@ -34,5 +37,6 @@ pub use flight::{
 };
 pub use longitudinal::{run_longitudinal, DomainWeeks, LongitudinalConfig, LongitudinalResult};
 pub use probe::{probe_connection, probe_connection_scratch, NetworkConditions, ProbeScratch};
-pub use quicspin_telemetry::{ProgressSnapshot, Registry, RunManifest};
+pub use quicspin_telemetry::{ProgressSnapshot, Registry, RunManifest, TimeSeriesDoc};
 pub use record::{ConnectionRecord, ScanOutcome};
+pub use timeseries::{build_timeseries, chrome_trace_export};

@@ -259,6 +259,13 @@ pub fn probe_connection_scratch(
     let mut outcome = ConnectionLab::new(lab_cfg).run_with_scratch(&mut scratch.lab);
     note_lab_stats(&mut scratch.telemetry, &outcome.stats);
 
+    // Virtual-clock timings for the time-series layer, read off the client
+    // qlog before it is (maybe) stripped below. These are simulated
+    // microseconds, so they are identical for any worker-thread count.
+    let virtual_handshake_us = outcome.client_qlog.handshake_time_us();
+    let virtual_total_us = outcome.client_qlog.duration_us();
+    let queue_high_water = outcome.stats.path.queue_high_water;
+
     if !outcome.handshake_completed {
         scratch.telemetry.incr(Metric::HandshakesFailed);
         let qlog = (keep_qlog || scratch.flight_inspect).then(|| {
@@ -280,6 +287,9 @@ pub fn probe_connection_scratch(
             host: Some(plan.host),
             webserver: None,
             report: None,
+            virtual_handshake_us,
+            virtual_total_us,
+            queue_high_water,
             qlog,
         };
         scratch.lab.reclaim(outcome);
@@ -330,6 +340,9 @@ pub fn probe_connection_scratch(
         host: Some(plan.host),
         webserver,
         report: Some(report),
+        virtual_handshake_us,
+        virtual_total_us,
+        queue_high_water,
         qlog,
     };
     scratch.lab.reclaim(outcome);

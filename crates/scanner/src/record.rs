@@ -53,6 +53,18 @@ pub struct ConnectionRecord {
     pub webserver: Option<WebServer>,
     /// The spin-bit assessment (present for established connections).
     pub report: Option<ObserverReport>,
+    /// Simulated handshake time in microseconds, when the handshake
+    /// completed. Virtual-clock time, so it is identical for any
+    /// worker-thread count — the time-series layer samples it.
+    #[serde(default)]
+    pub virtual_handshake_us: Option<u64>,
+    /// Simulated total connection lifetime in microseconds (0 for
+    /// attempts that never produced traffic). Virtual-clock time.
+    #[serde(default)]
+    pub virtual_total_us: u64,
+    /// Deepest simulated bottleneck queue this connection saw.
+    #[serde(default)]
+    pub queue_high_water: u64,
     /// The client-side qlog trace, retained only when the campaign runs
     /// with `keep_qlogs` (the paper's Appendix B artifact release keeps
     /// these for all toplist connections).
@@ -81,6 +93,9 @@ impl ConnectionRecord {
             host: None,
             webserver: None,
             report: None,
+            virtual_handshake_us: None,
+            virtual_total_us: 0,
+            queue_high_water: 0,
             qlog: None,
         }
     }

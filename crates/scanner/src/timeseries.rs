@@ -1,0 +1,286 @@
+//! Deterministic campaign time series and Chrome trace export.
+//!
+//! The persisted `timeseries.json` must be byte-identical for any
+//! worker-thread count, so it cannot be built from wall-clock monitor
+//! ticks. Instead [`build_timeseries`] replays the merged record stream —
+//! which the batch scheduler already guarantees is bit-identical — and
+//! samples cumulative *virtual-clock* state one point per probed domain:
+//! error rate, redirect and queue behaviour, virtual handshake/total
+//! latency quantiles (from a [`HistogramShard`] over the records'
+//! `virtual_*_us` fields), and the classification mix. The bounded
+//! [`TimeSeries`] ring then downsamples deterministically (see
+//! `quicspin_telemetry::timeseries`).
+//!
+//! [`chrome_trace_export`] renders a flight recording's retained traces —
+//! stage spans, spin edges, RTT counters (via `qlog::chrome`) plus one
+//! instant mark per detected anomaly — into the Chrome trace-event array
+//! form (`trace.json`), loadable in Perfetto or `chrome://tracing`.
+
+use crate::campaign::{Campaign, CampaignConfig};
+use crate::flight::FlightRecording;
+use crate::record::{ConnectionRecord, ScanOutcome};
+use quicspin_core::FlowClassification;
+use quicspin_qlog::{chrome_trace_events, ChromeArgs, ChromeEvent};
+use quicspin_telemetry::{
+    CounterSnapshot, HistogramShard, SeriesClock, TimePoint, TimeSeries, TimeSeriesDoc,
+};
+
+/// The classification mix tracked per sample, in stable order.
+const MIX_CLASSES: [FlowClassification; 5] = [
+    FlowClassification::NoShortPackets,
+    FlowClassification::AllZero,
+    FlowClassification::AllOne,
+    FlowClassification::Spinning,
+    FlowClassification::Greased,
+];
+
+/// Cumulative virtual-clock state folded over the record stream.
+#[derive(Default)]
+struct CumulativeState {
+    probes: u64,
+    records: u64,
+    errors: u64,
+    redirects: u64,
+    virtual_us: u64,
+    queue_high_water: u64,
+    handshake_us: HistogramShard,
+    total_us: HistogramShard,
+    mix: [u64; MIX_CLASSES.len()],
+}
+
+impl CumulativeState {
+    /// Folds one domain's records (all its redirect hops) in.
+    fn absorb_domain(&mut self, records: &[ConnectionRecord]) {
+        self.probes += 1;
+        self.records += records.len() as u64;
+        let mut errored = false;
+        for r in records {
+            if r.redirect_depth > 0 {
+                self.redirects += 1;
+            }
+            errored |= matches!(
+                r.outcome,
+                ScanOutcome::HandshakeFailed | ScanOutcome::Unreachable
+            );
+            self.virtual_us += r.virtual_total_us;
+            self.queue_high_water = self.queue_high_water.max(r.queue_high_water);
+            if let Some(hs) = r.virtual_handshake_us {
+                self.handshake_us.record(hs);
+            }
+            if r.virtual_total_us > 0 {
+                self.total_us.record(r.virtual_total_us);
+            }
+            if let Some(report) = &r.report {
+                if let Some(slot) = MIX_CLASSES.iter().position(|&c| c == report.classification) {
+                    self.mix[slot] += 1;
+                }
+            }
+        }
+        if errored {
+            self.errors += 1;
+        }
+    }
+
+    /// Snapshots the state as one sample point.
+    fn point(&self) -> TimePoint {
+        TimePoint {
+            seq: 0, // assigned by TimeSeries on admission
+            probes: self.probes,
+            records: self.records,
+            errors: self.errors,
+            redirects: self.redirects,
+            elapsed_us: self.virtual_us,
+            queue_high_water: self.queue_high_water,
+            handshake_p50_us: self.handshake_us.quantile(0.50),
+            handshake_p99_us: self.handshake_us.quantile(0.99),
+            total_p50_us: self.total_us.quantile(0.50),
+            total_p99_us: self.total_us.quantile(0.99),
+            mix: MIX_CLASSES
+                .iter()
+                .zip(self.mix)
+                .map(|(class, value)| CounterSnapshot {
+                    name: class.to_string(),
+                    value,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Builds the deterministic virtual-clock time series of a campaign: one
+/// sample offered per probed domain (in record order), downsampled into a
+/// ring of `capacity` points. The result depends only on the records, so
+/// it is byte-identical for any worker-thread count; the campaign id ties
+/// it to its run, and the `threads` entry is deliberately absent from the
+/// identity (mirroring the flight recorder's index-config rule).
+pub fn build_timeseries(
+    campaign: &Campaign,
+    config: &CampaignConfig,
+    capacity: usize,
+) -> TimeSeriesDoc {
+    let mut series = TimeSeries::new(capacity);
+    let mut state = CumulativeState::default();
+    let records = &campaign.records;
+    let mut start = 0usize;
+    while start < records.len() {
+        let domain_id = records[start].domain_id;
+        let mut end = start + 1;
+        while end < records.len() && records[end].domain_id == domain_id {
+            end += 1;
+        }
+        state.absorb_domain(&records[start..end]);
+        if end == records.len() {
+            // The last sample always lands so the series ends on the
+            // campaign's complete cumulative state.
+            series.push_final(state.point());
+        } else {
+            // Lazy offer: the quantile computation in `point()` only
+            // happens for samples the stride actually admits.
+            series.push_with(|| state.point());
+        }
+        start = end;
+    }
+    series.into_doc(config.campaign_id(), SeriesClock::Virtual)
+}
+
+/// Renders a flight recording as Chrome trace events: every retained
+/// trace contributes its stage spans, spin-edge/loss instants and RTT
+/// counter series on a `(domain, hop)` process/thread row, and every
+/// anomaly of a retained probe becomes an instant mark named after its
+/// kind. The output is deterministic (priority order, virtual time).
+pub fn chrome_trace_export(recording: &FlightRecording) -> Vec<ChromeEvent> {
+    let mut events = Vec::new();
+    for retained in recording.retained() {
+        let probe = retained.probe;
+        let Some(trace) = recording.trace(probe) else {
+            continue;
+        };
+        events.extend(chrome_trace_events(&trace, probe.domain_id, probe.hop));
+        for anomaly in recording.anomalies().iter().filter(|a| a.probe == probe) {
+            events.push(
+                ChromeEvent::instant(
+                    anomaly.kind.name(),
+                    trace.duration_us(),
+                    probe.domain_id,
+                    probe.hop,
+                    "anomaly",
+                )
+                .with_args(ChromeArgs {
+                    severity: Some(u64::from(anomaly.severity)),
+                    detail: Some(anomaly.detail.clone()),
+                    ..ChromeArgs::default()
+                }),
+            );
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Scanner;
+    use crate::flight::FlightConfig;
+    use crate::probe::NetworkConditions;
+    use quicspin_webpop::{Population, PopulationConfig};
+
+    fn pop() -> Population {
+        Population::generate(PopulationConfig {
+            seed: 0x51,
+            toplist_domains: 60,
+            zone_domains: 540,
+        })
+    }
+
+    fn config() -> CampaignConfig {
+        CampaignConfig {
+            conditions: NetworkConditions::clean(),
+            threads: 2,
+            flight: FlightConfig::armed(9),
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn series_tracks_cumulative_campaign_state() {
+        let pop = pop();
+        let cfg = config();
+        let campaign = Scanner::new(&pop).run_campaign(&cfg);
+        let doc = build_timeseries(&campaign, &cfg, 128);
+        assert_eq!(doc.campaign_id, cfg.campaign_id());
+        assert_eq!(doc.clock, "virtual-us");
+        assert!(!doc.points.is_empty());
+        assert_eq!(doc.offered, pop.len() as u64);
+
+        let last = doc.last_point().unwrap();
+        assert_eq!(last.probes, pop.len() as u64);
+        assert_eq!(last.records, campaign.len() as u64);
+        let mix_total: u64 = last.mix.iter().map(|c| c.value).sum();
+        assert_eq!(
+            mix_total,
+            campaign.established().count() as u64,
+            "every established record classifies into the mix"
+        );
+        assert!(last.total_p50_us > 0, "virtual stage quantiles populated");
+        assert!(last.handshake_p99_us >= last.handshake_p50_us);
+
+        // Cumulative fields are monotone along the series.
+        for pair in doc.points.windows(2) {
+            assert!(pair[0].probes <= pair[1].probes);
+            assert!(pair[0].elapsed_us <= pair[1].elapsed_us);
+            assert!(pair[0].errors <= pair[1].errors);
+        }
+    }
+
+    #[test]
+    fn series_is_identical_across_thread_counts() {
+        let pop = pop();
+        let docs: Vec<String> = [1usize, 4, 8]
+            .iter()
+            .map(|&threads| {
+                let cfg = CampaignConfig {
+                    threads,
+                    ..config()
+                };
+                let campaign = Scanner::new(&pop).run_campaign(&cfg);
+                serde_json::to_string_pretty(&build_timeseries(&campaign, &cfg, 64)).unwrap()
+            })
+            .collect();
+        assert_eq!(docs[0], docs[1]);
+        assert_eq!(docs[1], docs[2]);
+    }
+
+    #[test]
+    fn chrome_export_covers_retained_probes_and_anomalies() {
+        let pop = pop();
+        let mut cfg = config();
+        cfg.conditions = NetworkConditions::default();
+        cfg.flight.baseline_sample_every = 16;
+        let (_campaign, recording) = Scanner::new(&pop).run_campaign_flight(&cfg);
+        assert!(
+            !recording.retained().is_empty(),
+            "campaign must retain traces"
+        );
+        let events = chrome_trace_export(&recording);
+        assert!(!events.is_empty());
+        // Every retained probe contributes at least one stage span on its
+        // own (pid, tid) row.
+        for t in recording.retained() {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.pid == t.probe.domain_id && e.tid == t.probe.hop && e.ph == "X"),
+                "no span for probe {}",
+                t.probe
+            );
+        }
+        // Anomaly marks carry severity and detail.
+        let mark = events
+            .iter()
+            .find(|e| e.cat == "anomaly")
+            .expect("at least one anomaly mark");
+        let args = mark.args.as_ref().unwrap();
+        assert!(args.severity.is_some());
+        assert!(args.detail.is_some());
+    }
+}

@@ -1,34 +1,48 @@
 //! # quicspin-spinctl — flight-recorder command line
 //!
-//! Operator tooling over the campaign flight recorder's artifacts: the
-//! anomaly index (`anomalies.json`), the binary trace store
-//! (`traces.bin`), and the run manifest (`metrics.json`) all written by
-//! the scanner into one campaign directory.
+//! Operator tooling over the campaign artifacts written by the scanner
+//! into one campaign directory: the anomaly index (`anomalies.json`),
+//! the binary trace store (`traces.bin`), the run manifest
+//! (`metrics.json`), the deterministic campaign time series
+//! (`timeseries.json`), and the Chrome trace-event export
+//! (`trace.json`).
 //!
 //! Subcommands:
 //!
 //! * `spinctl run` — run a small flight-recorded campaign against a
-//!   synthetic population and write all three artifacts;
+//!   synthetic population and write all five artifacts;
 //! * `spinctl summary` — campaign id, retention budget usage, anomaly
 //!   counts by kind, the RTT-divergence distribution, virtual stage
 //!   latencies, and the run-manifest counters;
 //! * `spinctl anomalies` — list flagged probes, filterable by kind;
 //! * `spinctl trace <probe-id>` — decode one retained trace and render
 //!   its per-connection timeline (packet numbers, spin values, edge
-//!   markers) plus the spin-vs-stack RTT samples side by side.
+//!   markers) plus the spin-vs-stack RTT samples side by side;
+//! * `spinctl compare <a> <b>` — diff two campaign directories (or,
+//!   with `--bench`, two `BENCH_JSON` reports): virtual-latency p99
+//!   quantiles against a multiplicative band, error-rate drift, and
+//!   classification-mix drift. Exits 2 when a regression is found;
+//! * `spinctl trend <dir>...` — tabulate campaign directories as a
+//!   per-week compliance view (the paper's Fig. 2 angle: how the
+//!   spin-participation mix moves across weekly sweeps).
 //!
 //! The library half exists so the rendering is testable; `main.rs` is a
-//! thin wrapper around [`run`].
+//! thin wrapper around [`run`], which returns the process exit code
+//! (0 = clean, 2 = regressions found; `Err` renders on stderr as 1).
 
 use quicspin_analysis::Histogram;
 use quicspin_core::reorder::ReorderComparison;
 use quicspin_core::{ObserverConfig, PacketObservation};
 use quicspin_qlog::render_timeline;
 use quicspin_scanner::{
-    read_anomaly_index, read_flagged_trace, read_run_manifest, write_flight_recording,
-    write_run_manifest, AnomalyIndex, AnomalyKind, CampaignConfig, FlightConfig, ProbeId, Scanner,
+    build_timeseries, chrome_trace_export, read_anomaly_index, read_flagged_trace,
+    read_run_manifest, read_timeseries, write_chrome_trace, write_flight_recording,
+    write_run_manifest, write_timeseries, AnomalyIndex, AnomalyKind, CampaignConfig, FlightConfig,
+    ProbeId, RunManifest, Scanner, TimeSeriesDoc,
 };
+use quicspin_telemetry::DEFAULT_TIMESERIES_CAPACITY;
 use quicspin_webpop::{Population, PopulationConfig};
+use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -37,39 +51,68 @@ use std::time::Duration;
 /// Default artifact directory when `--dir` is not given.
 pub const DEFAULT_DIR: &str = "target/flight";
 
+/// Exit code signalled (via [`run`]'s `Ok`) when `compare` finds at
+/// least one regression.
+pub const EXIT_REGRESSIONS: i32 = 2;
+
+/// Minimum absolute worsening (µs) before a latency quantile can count
+/// as regressed; filters noise on near-zero baselines.
+const LATENCY_FLOOR_US: u64 = 1_000;
+
+/// Error-rate worsening (absolute fraction) that counts as a regression.
+const ERROR_RATE_DRIFT: f64 = 0.02;
+
+/// Minimum absolute worsening (ns) before a benchmark mean can count as
+/// regressed.
+const BENCH_FLOOR_NS: u64 = 1_000;
+
 const USAGE: &str = "\
 spinctl — QUIC spin-bit campaign flight recorder
 
 USAGE:
     spinctl run       [--dir DIR] [--domains N] [--seed S] [--threads T]
-                      [--budget-bytes B] [--sample-every K]
+                      [--budget-bytes B] [--sample-every K] [--loss P]
     spinctl summary   [--dir DIR]
     spinctl anomalies [--dir DIR] [--kind KIND] [--limit N]
     spinctl trace     (<probe-id> | --first) [--dir DIR]
+    spinctl compare   <run-a> <run-b> [--p99-band X] [--mix-drift D]
+    spinctl compare   --bench <a.json> <b.json> [--bench-band X]
+    spinctl trend     <dir> [<dir> ...]
 
 `run` sweeps a synthetic population with the flight recorder armed and
-writes metrics.json, anomalies.json, and traces.bin into DIR.
+writes metrics.json, anomalies.json, traces.bin, timeseries.json, and
+trace.json (Chrome trace-event form; load in Perfetto) into DIR.
+`compare` diffs two campaign directories — virtual-latency p99s against
+a multiplicative band (default 1.25), error-rate drift, and
+classification-mix drift (default 0.02) — or, with --bench, two
+BENCH_JSON benchmark reports (band default 1.50). It exits 2 when it
+finds a regression. `trend` tabulates campaign directories by week as a
+spin-compliance view.
 `<probe-id>` is `domain` or `domain:hop`, as printed by `anomalies`.
 KIND is one of: rtt-divergence, invalid-spin-edge, classification-flip,
 handshake-failure, stage-outlier, baseline-sample.
 ";
 
 /// Executes one spinctl invocation. `args` excludes the program name.
-/// All output goes to `out`; errors (including usage errors) come back
-/// as the `Err` string for the binary to print and exit non-zero.
-pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+/// All output goes to `out`; the `Ok` value is the process exit code
+/// (nonzero only for `compare` regressions). Errors (usage errors and
+/// missing/corrupt artifacts alike) come back as the `Err` string for
+/// the binary to print on stderr and exit 1.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
     let Some(cmd) = args.first() else {
         return Err(USAGE.to_string());
     };
     let rest = &args[1..];
     match cmd.as_str() {
-        "run" => cmd_run(rest, out),
-        "summary" => cmd_summary(rest, out),
-        "anomalies" => cmd_anomalies(rest, out),
-        "trace" => cmd_trace(rest, out),
+        "run" => cmd_run(rest, out).map(|()| 0),
+        "summary" => cmd_summary(rest, out).map(|()| 0),
+        "anomalies" => cmd_anomalies(rest, out).map(|()| 0),
+        "trace" => cmd_trace(rest, out).map(|()| 0),
+        "compare" => cmd_compare(rest, out),
+        "trend" => cmd_trend(rest, out).map(|()| 0),
         "help" | "--help" | "-h" => {
             write!(out, "{USAGE}").map_err(|e| e.to_string())?;
-            Ok(())
+            Ok(0)
         }
         other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
     }
@@ -148,7 +191,20 @@ impl ParsedArgs {
 }
 
 fn load_index(dir: &Path) -> Result<AnomalyIndex, String> {
-    read_anomaly_index(dir).map_err(|e| format!("{e}\n(run `spinctl run --dir ...` first?)"))
+    read_anomaly_index(dir).map_err(|e| format!("{e} (run `spinctl run --dir ...` first?)"))
+}
+
+/// The two artifacts `compare` and `trend` diff: the run manifest and
+/// the deterministic time series. Missing or corrupt files are fatal.
+struct RunArtifacts {
+    manifest: RunManifest,
+    series: TimeSeriesDoc,
+}
+
+fn load_run(dir: &Path) -> Result<RunArtifacts, String> {
+    let manifest = read_run_manifest(dir).map_err(|e| e.to_string())?;
+    let series = read_timeseries(dir).map_err(|e| e.to_string())?;
+    Ok(RunArtifacts { manifest, series })
 }
 
 // ---------------------------------------------------------------------------
@@ -164,6 +220,7 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "threads",
         "budget-bytes",
         "sample-every",
+        "loss",
     ])?;
     if !args.positional.is_empty() {
         return Err(format!(
@@ -186,11 +243,18 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let mut flight = FlightConfig::armed(seed);
     flight.retention_budget_bytes = budget;
     flight.baseline_sample_every = sample_every;
-    let config = CampaignConfig {
+    let mut config = CampaignConfig {
         threads,
         flight,
         ..CampaignConfig::default()
     };
+    config.conditions.loss = args.get_parsed("loss", config.conditions.loss)?;
+    if !(0.0..1.0).contains(&config.conditions.loss) {
+        return Err(format!(
+            "--loss must be in [0, 1), got {}",
+            config.conditions.loss
+        ));
+    }
     // The progress sink must be Send, so collect the monitor lines and
     // replay them onto `out` once the sweep has joined.
     let mut progress: Vec<String> = Vec::new();
@@ -221,9 +285,24 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let manifest_path = write_run_manifest(&dir, &manifest).map_err(|e| e.to_string())?;
     let (index_path, store_path) =
         write_flight_recording(&dir, &recording).map_err(|e| e.to_string())?;
+    let series = build_timeseries(&campaign, &config, DEFAULT_TIMESERIES_CAPACITY);
+    let series_path = write_timeseries(&dir, &series).map_err(|e| e.to_string())?;
+    let events = chrome_trace_export(&recording);
+    let trace_path = write_chrome_trace(&dir, &events).map_err(|e| e.to_string())?;
     w(format!("wrote {}", manifest_path.display()))?;
     w(format!("wrote {}", index_path.display()))?;
     w(format!("wrote {}", store_path.display()))?;
+    w(format!(
+        "wrote {} ({} points, stride {})",
+        series_path.display(),
+        series.points.len(),
+        series.stride,
+    ))?;
+    w(format!(
+        "wrote {} ({} trace events; load in Perfetto)",
+        trace_path.display(),
+        events.len(),
+    ))?;
     Ok(())
 }
 
@@ -236,6 +315,9 @@ fn cmd_summary(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     args.ensure_known(&["dir"])?;
     let dir = args.dir();
     let index = load_index(&dir)?;
+    // A campaign directory without a readable manifest is broken, not
+    // partially summarizable: fail hard so scripts notice.
+    let manifest = read_run_manifest(&dir).map_err(|e| e.to_string())?;
     let mut text = String::new();
     let _ = writeln!(
         text,
@@ -305,14 +387,7 @@ fn cmd_summary(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         }
     }
 
-    match read_run_manifest(&dir) {
-        Ok(manifest) => {
-            let _ = writeln!(text, "\n{}", manifest.summary_table());
-        }
-        Err(e) => {
-            let _ = writeln!(text, "\n(no run manifest: {e})");
-        }
-    }
+    let _ = writeln!(text, "\n{}", manifest.summary_table());
     write!(out, "{text}").map_err(|e| e.to_string())
 }
 
@@ -466,15 +541,368 @@ fn cmd_trace(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// spinctl compare
+// ---------------------------------------------------------------------------
+
+/// Machine-readable benchmark report, as emitted by the bench harness
+/// when the `BENCH_JSON` environment variable names a file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Report schema version (currently 1).
+    pub schema_version: u32,
+    /// One record per benchmark that ran.
+    pub results: Vec<BenchResult>,
+}
+
+/// One benchmark's timings inside a [`BenchReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/case`).
+    pub name: String,
+    /// Group half of the name (empty for ungrouped benchmarks).
+    pub group: String,
+    /// Case half of the name.
+    pub case: String,
+    /// Mean time per iteration.
+    pub mean_ns: u64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+}
+
+/// Whether quantile `b` regressed against `a`: worse than the
+/// multiplicative band AND past the absolute floor (so a 2 µs → 4 µs
+/// wobble on a tiny baseline never trips the gate).
+fn quantile_regressed(a_us: u64, b_us: u64, band: f64) -> bool {
+    b_us as f64 > a_us as f64 * band && b_us >= a_us + LATENCY_FLOOR_US
+}
+
+fn cmd_compare(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let args = ParsedArgs::parse(args, &["bench"])?;
+    args.ensure_known(&["p99-band", "mix-drift", "bench-band"])?;
+    if args.positional.len() != 2 {
+        return Err(format!(
+            "compare needs exactly two runs (got {})\n\n{USAGE}",
+            args.positional.len()
+        ));
+    }
+    let a = PathBuf::from(&args.positional[0]);
+    let b = PathBuf::from(&args.positional[1]);
+    if args.has("bench") {
+        let band: f64 = args.get_parsed("bench-band", 1.5)?;
+        compare_bench(&a, &b, band, out)
+    } else {
+        let band: f64 = args.get_parsed("p99-band", 1.25)?;
+        let drift: f64 = args.get_parsed("mix-drift", 0.02)?;
+        compare_runs(&a, &b, band, drift, out)
+    }
+}
+
+fn compare_runs(
+    a_dir: &Path,
+    b_dir: &Path,
+    band: f64,
+    mix_drift: f64,
+    out: &mut dyn Write,
+) -> Result<i32, String> {
+    let a = load_run(a_dir)?;
+    let b = load_run(b_dir)?;
+    let no_samples = |dir: &Path| format!("time series in {} has no samples", dir.display());
+    let ap = a.series.last_point().ok_or_else(|| no_samples(a_dir))?;
+    let bp = b.series.last_point().ok_or_else(|| no_samples(b_dir))?;
+
+    let mut text = String::new();
+    let mut regressions: Vec<String> = Vec::new();
+    let _ = writeln!(
+        text,
+        "comparing {} (a) vs {} (b)",
+        a.series.campaign_id, b.series.campaign_id
+    );
+    let side = |tag: &str, dir: &Path, p: &quicspin_telemetry::TimePoint| {
+        format!(
+            "  {tag}: {} — {} probes, {} records, err {:.1}%",
+            dir.display(),
+            p.probes,
+            p.records,
+            p.error_rate() * 100.0,
+        )
+    };
+    let _ = writeln!(text, "{}", side("a", a_dir, ap));
+    let _ = writeln!(text, "{}", side("b", b_dir, bp));
+    if a.series.offered != b.series.offered {
+        let _ = writeln!(
+            text,
+            "  note: population sizes differ ({} vs {} offered samples)",
+            a.series.offered, b.series.offered
+        );
+    }
+
+    let _ = writeln!(
+        text,
+        "\nvirtual latency (µs; p99 gate: > a×{band:.2} and ≥ a+{LATENCY_FLOOR_US}):"
+    );
+    let _ = writeln!(
+        text,
+        "  {:<18} {:>10} {:>10} {:>10}  verdict",
+        "metric", "run-a", "run-b", "delta"
+    );
+    let quantiles: [(&str, u64, u64, bool); 4] = [
+        (
+            "handshake_p50_us",
+            ap.handshake_p50_us,
+            bp.handshake_p50_us,
+            false,
+        ),
+        (
+            "handshake_p99_us",
+            ap.handshake_p99_us,
+            bp.handshake_p99_us,
+            true,
+        ),
+        ("total_p50_us", ap.total_p50_us, bp.total_p50_us, false),
+        ("total_p99_us", ap.total_p99_us, bp.total_p99_us, true),
+    ];
+    for (name, av, bv, gated) in quantiles {
+        let regressed = gated && quantile_regressed(av, bv, band);
+        if regressed {
+            regressions.push(name.to_string());
+        }
+        let verdict = if regressed {
+            "REGRESSED"
+        } else if gated {
+            "ok"
+        } else {
+            "(info)"
+        };
+        let _ = writeln!(
+            text,
+            "  {:<18} {:>10} {:>10} {:>+10}  {verdict}",
+            name,
+            av,
+            bv,
+            bv as i64 - av as i64
+        );
+    }
+
+    let (ae, be) = (ap.error_rate(), bp.error_rate());
+    let err_regressed = be > ae + ERROR_RATE_DRIFT;
+    if err_regressed {
+        regressions.push("error_rate".to_string());
+    }
+    let _ = writeln!(
+        text,
+        "\nerror rate: {:.2}% -> {:.2}% ({})",
+        ae * 100.0,
+        be * 100.0,
+        if err_regressed { "REGRESSED" } else { "ok" }
+    );
+
+    let _ = writeln!(
+        text,
+        "\nclassification mix (drift gate: |Δshare| > {:.1}pp):",
+        mix_drift * 100.0
+    );
+    let _ = writeln!(
+        text,
+        "  {:<18} {:>9} {:>9} {:>9}  verdict",
+        "class", "run-a", "run-b", "drift"
+    );
+    let mut class_names: Vec<&str> = ap.mix.iter().map(|c| c.name.as_str()).collect();
+    for c in &bp.mix {
+        if !class_names.contains(&c.name.as_str()) {
+            class_names.push(c.name.as_str());
+        }
+    }
+    for name in class_names {
+        let (sa, sb) = (ap.mix_share(name), bp.mix_share(name));
+        let drift = sb - sa;
+        let drifted = drift.abs() > mix_drift;
+        if drifted {
+            regressions.push(format!("mix:{name}"));
+        }
+        let _ = writeln!(
+            text,
+            "  {:<18} {:>8.1}% {:>8.1}% {:>+7.1}pp  {}",
+            name,
+            sa * 100.0,
+            sb * 100.0,
+            drift * 100.0,
+            if drifted { "DRIFTED" } else { "ok" }
+        );
+    }
+
+    let _ = writeln!(
+        text,
+        "\nwall-clock stage p99 (informational — varies with host load):"
+    );
+    for sa in &a.manifest.stages {
+        if sa.count == 0 {
+            continue;
+        }
+        if let Some(sb) = b.manifest.stage(&sa.stage) {
+            let _ = writeln!(
+                text,
+                "  {:<18} {:>12} ns {:>12} ns",
+                sa.stage, sa.p99_ns, sb.p99_ns
+            );
+        }
+    }
+
+    if regressions.is_empty() {
+        let _ = writeln!(text, "\nno regressions detected");
+        write!(out, "{text}").map_err(|e| e.to_string())?;
+        Ok(0)
+    } else {
+        let _ = writeln!(
+            text,
+            "\n{} regression(s) detected: {}",
+            regressions.len(),
+            regressions.join(", ")
+        );
+        write!(out, "{text}").map_err(|e| e.to_string())?;
+        Ok(EXIT_REGRESSIONS)
+    }
+}
+
+fn load_bench(path: &Path) -> Result<BenchReport, String> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read bench report {}: {e}", path.display()))?;
+    serde_json::from_str(&json).map_err(|e| format!("corrupt bench report {}: {e}", path.display()))
+}
+
+fn compare_bench(
+    a_path: &Path,
+    b_path: &Path,
+    band: f64,
+    out: &mut dyn Write,
+) -> Result<i32, String> {
+    let a = load_bench(a_path)?;
+    let b = load_bench(b_path)?;
+    let mut text = String::new();
+    let mut regressions: Vec<String> = Vec::new();
+    let _ = writeln!(
+        text,
+        "comparing bench reports (mean gate: > a×{band:.2} and ≥ a+{BENCH_FLOOR_NS}):"
+    );
+    let _ = writeln!(
+        text,
+        "  {:<44} {:>12} {:>12}  verdict",
+        "benchmark", "a mean ns", "b mean ns"
+    );
+    for ra in &a.results {
+        let Some(rb) = b.results.iter().find(|r| r.name == ra.name) else {
+            let _ = writeln!(text, "  {:<44} only in {}", ra.name, a_path.display());
+            continue;
+        };
+        let regressed = rb.mean_ns as f64 > ra.mean_ns as f64 * band
+            && rb.mean_ns >= ra.mean_ns + BENCH_FLOOR_NS;
+        if regressed {
+            regressions.push(ra.name.clone());
+        }
+        let _ = writeln!(
+            text,
+            "  {:<44} {:>12} {:>12}  {}",
+            ra.name,
+            ra.mean_ns,
+            rb.mean_ns,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    for rb in &b.results {
+        if !a.results.iter().any(|r| r.name == rb.name) {
+            let _ = writeln!(text, "  {:<44} only in {}", rb.name, b_path.display());
+        }
+    }
+    if regressions.is_empty() {
+        let _ = writeln!(text, "\nno regressions detected");
+        write!(out, "{text}").map_err(|e| e.to_string())?;
+        Ok(0)
+    } else {
+        let _ = writeln!(
+            text,
+            "\n{} regression(s) detected: {}",
+            regressions.len(),
+            regressions.join(", ")
+        );
+        write!(out, "{text}").map_err(|e| e.to_string())?;
+        Ok(EXIT_REGRESSIONS)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// spinctl trend
+// ---------------------------------------------------------------------------
+
+fn cmd_trend(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let args = ParsedArgs::parse(args, &[])?;
+    args.ensure_known(&[])?;
+    if args.positional.is_empty() {
+        return Err(format!(
+            "trend needs at least one campaign directory\n\n{USAGE}"
+        ));
+    }
+    // (week, campaign id, pre-rendered row) — sorted by week so the
+    // table reads as the paper's longitudinal sweep.
+    let mut rows: Vec<(u32, String, String)> = Vec::new();
+    for raw in &args.positional {
+        let dir = PathBuf::from(raw);
+        let run = load_run(&dir)?;
+        let point = run
+            .series
+            .last_point()
+            .ok_or_else(|| format!("time series in {} has no samples", dir.display()))?;
+        let week: u32 = run
+            .manifest
+            .config
+            .iter()
+            .find(|e| e.key == "week")
+            .and_then(|e| e.value.parse().ok())
+            .unwrap_or(0);
+        let row = format!(
+            "  {:>4} {:>8} {:>7.1}% {:>7.1}% {:>7.1}% {:>10} {:>10}  {}",
+            week,
+            point.probes,
+            point.error_rate() * 100.0,
+            point.mix_share("spinning") * 100.0,
+            point.mix_share("greased") * 100.0,
+            point.handshake_p99_us,
+            point.total_p99_us,
+            run.series.campaign_id,
+        );
+        rows.push((week, run.series.campaign_id.clone(), row));
+    }
+    rows.sort_by(|x, y| x.0.cmp(&y.0).then_with(|| x.1.cmp(&y.1)));
+    writeln!(out, "campaign trend ({} runs):", rows.len()).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "  {:>4} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10}  campaign",
+        "week", "probes", "err", "spin", "grease", "hs_p99", "tot_p99"
+    )
+    .map_err(|e| e.to_string())?;
+    for (_, _, row) in &rows {
+        writeln!(out, "{row}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn run_str(args: &[&str]) -> Result<String, String> {
+    fn run_code(args: &[&str]) -> Result<(i32, String), String> {
         let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         let mut out = Vec::new();
-        run(&args, &mut out)?;
-        Ok(String::from_utf8(out).expect("utf8 output"))
+        let code = run(&args, &mut out)?;
+        Ok((code, String::from_utf8(out).expect("utf8 output")))
+    }
+
+    fn run_str(args: &[&str]) -> Result<String, String> {
+        run_code(args).map(|(code, out)| {
+            assert_eq!(code, 0, "unexpected exit code {code}; out: {out}");
+            out
+        })
     }
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -491,17 +919,70 @@ mod tests {
         assert!(run_str(&["anomalies", "--kind", "nope"])
             .unwrap_err()
             .contains("rtt-divergence"));
+        assert!(run_str(&["compare", "just-one"])
+            .unwrap_err()
+            .contains("exactly two"));
+        assert!(run_str(&["trend"]).unwrap_err().contains("at least one"));
+        assert!(run_str(&["run", "--loss", "1.5"])
+            .unwrap_err()
+            .contains("--loss"));
     }
 
     #[test]
     fn help_prints_usage() {
-        assert!(run_str(&["help"]).unwrap().contains("spinctl run"));
+        let help = run_str(&["help"]).unwrap();
+        assert!(help.contains("spinctl run"));
+        assert!(help.contains("spinctl compare"));
+        assert!(help.contains("spinctl trend"));
     }
 
     #[test]
-    fn summary_on_missing_dir_is_descriptive() {
-        let err = run_str(&["summary", "--dir", "/nonexistent/quicspin"]).unwrap_err();
+    fn missing_artifacts_fail_with_one_line_diagnostics() {
+        let missing = "/nonexistent/quicspin";
+        for cmd in [
+            vec!["summary", "--dir", missing],
+            vec!["anomalies", "--dir", missing],
+            vec!["trace", "--first", "--dir", missing],
+            vec!["compare", missing, missing],
+            vec!["trend", missing],
+        ] {
+            let err = run_str(&cmd).unwrap_err();
+            assert!(
+                err.contains("anomalies.json") || err.contains("metrics.json"),
+                "{cmd:?}: {err}"
+            );
+            assert!(
+                !err.trim().contains('\n'),
+                "{cmd:?} diagnostic spans lines: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_artifacts_fail_with_one_line_diagnostics() {
+        let dir = temp_dir("truncated");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_s = dir.to_str().unwrap();
+        // A truncated JSON document: parseable prefix, then EOF.
+        std::fs::write(dir.join("anomalies.json"), "{\"schema_version\": 1,").unwrap();
+        let err = run_str(&["summary", "--dir", dir_s]).unwrap_err();
         assert!(err.contains("anomalies.json"), "err: {err}");
+        assert!(!err.trim().contains('\n'), "err spans lines: {err}");
+
+        std::fs::write(dir.join("metrics.json"), "{\"schema_version\":").unwrap();
+        std::fs::write(dir.join("timeseries.json"), "[1, 2").unwrap();
+        let err = run_str(&["compare", dir_s, dir_s]).unwrap_err();
+        assert!(err.contains("metrics.json"), "err: {err}");
+        assert!(!err.trim().contains('\n'), "err spans lines: {err}");
+
+        let err = run_str(&["trend", dir_s]).unwrap_err();
+        assert!(err.contains("metrics.json"), "err: {err}");
+
+        let err = run_str(&["compare", "--bench", dir_s, dir_s]).unwrap_err();
+        assert!(err.contains("bench report"), "err: {err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -524,8 +1005,12 @@ mod tests {
         .unwrap();
         assert!(ran.contains("campaign week0-V4-seed"), "out: {ran}");
         assert!(ran.contains("anomalies.json"), "out: {ran}");
+        assert!(ran.contains("timeseries.json"), "out: {ran}");
+        assert!(ran.contains("trace.json"), "out: {ran}");
         assert!(dir.join("metrics.json").is_file());
         assert!(dir.join("traces.bin").is_file());
+        assert!(dir.join("timeseries.json").is_file());
+        assert!(dir.join("trace.json").is_file());
 
         let summary = run_str(&["summary", "--dir", dir_s]).unwrap();
         assert!(summary.contains("anomalies by kind"), "out: {summary}");
@@ -547,5 +1032,92 @@ mod tests {
         assert_eq!(by_id, traced);
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compare_is_clean_for_identical_seeds_and_flags_inflated_loss() {
+        let base = temp_dir("compare");
+        let _ = std::fs::remove_dir_all(&base);
+        let dir_a = base.join("a");
+        let dir_b = base.join("b");
+        let dir_c = base.join("c");
+        let sweep = |dir: &Path, loss: Option<&str>| {
+            let dir_s = dir.to_str().unwrap().to_string();
+            let mut args: Vec<String> =
+                ["run", "--dir", &dir_s, "--domains", "200", "--seed", "11"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+            if let Some(p) = loss {
+                args.push("--loss".to_string());
+                args.push(p.to_string());
+            }
+            let args: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+            run_str(&args).unwrap();
+        };
+        sweep(&dir_a, None);
+        sweep(&dir_b, None);
+        sweep(&dir_c, Some("0.30"));
+
+        let (code, report) =
+            run_code(&["compare", dir_a.to_str().unwrap(), dir_b.to_str().unwrap()]).unwrap();
+        assert_eq!(code, 0, "identical runs must compare clean: {report}");
+        assert!(report.contains("no regressions detected"), "out: {report}");
+
+        let (code, report) =
+            run_code(&["compare", dir_a.to_str().unwrap(), dir_c.to_str().unwrap()]).unwrap();
+        assert_eq!(
+            code, EXIT_REGRESSIONS,
+            "30% loss must regress vs baseline: {report}"
+        );
+        assert!(report.contains("regression(s) detected"), "out: {report}");
+
+        let trend = run_str(&["trend", dir_a.to_str().unwrap(), dir_c.to_str().unwrap()]).unwrap();
+        assert!(trend.contains("campaign trend (2 runs)"), "out: {trend}");
+        assert!(trend.contains("week0-V4-seed"), "out: {trend}");
+
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn compare_bench_flags_inflated_means() {
+        let base = temp_dir("bench-compare");
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let report = |mean: u64| BenchReport {
+            schema_version: 1,
+            results: vec![BenchResult {
+                name: "scanner/probe".to_string(),
+                group: "scanner".to_string(),
+                case: "probe".to_string(),
+                mean_ns: mean,
+                min_ns: mean / 2,
+                max_ns: mean * 2,
+            }],
+        };
+        let a_path = base.join("a.json");
+        let b_path = base.join("b.json");
+        std::fs::write(
+            &a_path,
+            serde_json::to_string_pretty(&report(10_000)).unwrap(),
+        )
+        .unwrap();
+        std::fs::write(
+            &b_path,
+            serde_json::to_string_pretty(&report(40_000)).unwrap(),
+        )
+        .unwrap();
+
+        let a = a_path.to_str().unwrap();
+        let b = b_path.to_str().unwrap();
+        let (code, out) = run_code(&["compare", "--bench", a, a]).unwrap();
+        assert_eq!(code, 0, "report vs itself: {out}");
+        assert!(out.contains("no regressions detected"), "out: {out}");
+
+        let (code, out) = run_code(&["compare", "--bench", a, b]).unwrap();
+        assert_eq!(code, EXIT_REGRESSIONS, "4× mean must regress: {out}");
+        assert!(out.contains("scanner/probe"), "out: {out}");
+
+        let _ = std::fs::remove_dir_all(&base);
     }
 }

@@ -4,9 +4,15 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    if let Err(message) = quicspin_spinctl::run(&args, &mut out) {
-        let _ = out.flush();
-        eprintln!("{message}");
-        std::process::exit(1);
+    match quicspin_spinctl::run(&args, &mut out) {
+        Ok(code) => {
+            let _ = out.flush();
+            std::process::exit(code);
+        }
+        Err(message) => {
+            let _ = out.flush();
+            eprintln!("{message}");
+            std::process::exit(1);
+        }
     }
 }

@@ -160,6 +160,14 @@ impl HistogramShard {
         self.max
     }
 
+    /// Number of buckets holding at least one sample. A distribution
+    /// concentrated in a single bucket has no usable shape: its quantiles
+    /// all collapse to one value, so thresholds derived from it (e.g.
+    /// outlier calibration) are degenerate.
+    pub fn occupied_buckets(&self) -> usize {
+        self.buckets.iter().filter(|&&n| n != 0).count()
+    }
+
     /// An outlier threshold derived from the recorded distribution: the
     /// `q`-quantile scaled by `multiplier` (e.g. `outlier_threshold(0.99,
     /// 3.0)` flags values past 3× the p99). An empty histogram returns
@@ -497,6 +505,45 @@ mod tests {
         // Negative multipliers clamp to zero, huge ones saturate.
         assert_eq!(h.outlier_threshold(0.99, -5.0), 0);
         assert_eq!(h.outlier_threshold(1.0, f64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn occupied_buckets_counts_distinct_buckets() {
+        let mut h = HistogramShard::default();
+        assert_eq!(h.occupied_buckets(), 0);
+        h.record(0);
+        h.record(0);
+        h.record(0);
+        // All mass in one bucket: the quantile "band" collapses to a point.
+        assert_eq!(h.occupied_buckets(), 1);
+        assert_eq!(h.quantile(0.5), h.quantile(0.99));
+        h.record(5);
+        h.record(1_000_000);
+        assert_eq!(h.occupied_buckets(), 3);
+    }
+
+    #[test]
+    fn single_bucket_distribution_yields_degenerate_outlier_threshold() {
+        // Regression guard for `calibrate_outliers` consumers: a histogram
+        // whose every sample landed in bucket 0 reports quantile 0, so the
+        // scaled threshold is 0 and would flag *everything* as an outlier.
+        // Callers must check `occupied_buckets() >= 2` (and a nonzero
+        // threshold) before trusting the derived band.
+        let mut zeros = HistogramShard::default();
+        for _ in 0..50 {
+            zeros.record(0);
+        }
+        assert_eq!(zeros.occupied_buckets(), 1);
+        assert_eq!(zeros.outlier_threshold(0.99, 4.0), 0);
+
+        // A single-bucket histogram at a nonzero value is equally shapeless:
+        // p50 == p99, so the "p99 band" carries no spread information.
+        let mut spike = HistogramShard::default();
+        for _ in 0..50 {
+            spike.record(4_100);
+        }
+        assert_eq!(spike.occupied_buckets(), 1);
+        assert_eq!(spike.quantile(0.5), spike.quantile(0.99));
     }
 
     #[test]

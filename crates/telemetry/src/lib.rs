@@ -20,6 +20,9 @@
 //! * [`RunManifest`] — serde-serializable export (config echo, wall time,
 //!   counters, per-stage histograms) written as `metrics.json`, plus
 //!   [`ProgressSnapshot`] for periodic `probes/sec | eta | errors` lines.
+//! * [`TimeSeries`] — bounded ring of [`TimePoint`]s with deterministic
+//!   stride-doubling downsampling, persisted as a versioned
+//!   `timeseries.json` ([`TimeSeriesDoc`]) next to the manifest.
 //!
 //! The transport (`quicspin-quic`) and path-simulation (`quicspin-netsim`)
 //! crates do not depend on this crate: they expose plain stat structs that
@@ -31,6 +34,7 @@ pub mod manifest;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod timeseries;
 
 pub use histogram::{bucket_bounds, bucket_index, HistogramShard, LatencyHistogram, BUCKET_COUNT};
 pub use manifest::{
@@ -40,3 +44,7 @@ pub use manifest::{
 pub use metrics::{Counter, Gauge, GaugeId, Metric, Stage};
 pub use registry::{Registry, WorkerShard};
 pub use span::Span;
+pub use timeseries::{
+    SeriesClock, TimePoint, TimeSeries, TimeSeriesDoc, DEFAULT_TIMESERIES_CAPACITY,
+    TIMESERIES_SCHEMA_VERSION,
+};

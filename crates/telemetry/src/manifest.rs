@@ -310,6 +310,79 @@ mod tests {
     }
 
     #[test]
+    fn eta_with_zero_completed_probes_is_infinite_not_nan() {
+        // Time has passed but nothing finished: the rate is exactly 0, and
+        // the ETA must degrade to "unknown" (infinity), never NaN or a
+        // division panic.
+        let stalled = ProgressSnapshot {
+            completed: 0,
+            total: 1_000,
+            errored: 0,
+            elapsed_ns: 5_000_000_000,
+        };
+        assert_eq!(stalled.probes_per_sec(), 0.0);
+        assert!(stalled.eta_secs().is_infinite());
+        assert!(!stalled.eta_secs().is_nan());
+        assert_eq!(stalled.error_rate(), 0.0);
+        let line = stalled.render();
+        assert!(line.contains("eta ?"), "line: {line}");
+        assert!(line.contains("0/1000"));
+    }
+
+    #[test]
+    fn all_errored_batch_reports_full_error_rate_and_finite_eta() {
+        // Every completed probe erred: errors still count as completions,
+        // so the rate (and therefore the ETA) stays finite while the error
+        // rate pegs at exactly 100%.
+        let p = ProgressSnapshot {
+            completed: 250,
+            total: 500,
+            errored: 250,
+            elapsed_ns: 1_000_000_000,
+        };
+        assert!((p.error_rate() - 1.0).abs() < 1e-12);
+        assert!((p.probes_per_sec() - 250.0).abs() < 1e-9);
+        assert!((p.eta_secs() - 1.0).abs() < 1e-9);
+        assert!(p.render().contains("errors 100.0%"));
+    }
+
+    #[test]
+    fn eta_shrinks_monotonically_as_completions_advance() {
+        // At a fixed rate, later snapshots (more completed, proportional
+        // elapsed) must never report a larger ETA — the invariant the
+        // monitor thread's tick ordering relies on.
+        let mut last_eta = f64::INFINITY;
+        for ticks in 1..=10u64 {
+            let snap = ProgressSnapshot {
+                completed: ticks * 100,
+                total: 1_000,
+                errored: ticks,
+                elapsed_ns: ticks * 500_000_000,
+            };
+            let eta = snap.eta_secs();
+            assert!(
+                eta <= last_eta + 1e-9,
+                "eta regressed at tick {ticks}: {eta} > {last_eta}"
+            );
+            last_eta = eta;
+        }
+        assert!((last_eta - 0.0).abs() < 1e-9, "final eta {last_eta}");
+    }
+
+    #[test]
+    fn completed_overshoot_saturates_instead_of_negative_eta() {
+        // Redirect hops can make completed exceed total transiently; the
+        // ETA must clamp at zero rather than go negative.
+        let p = ProgressSnapshot {
+            completed: 1_200,
+            total: 1_000,
+            errored: 0,
+            elapsed_ns: 1_000_000_000,
+        };
+        assert_eq!(p.eta_secs(), 0.0);
+    }
+
+    #[test]
     fn duration_formatting_picks_units() {
         assert_eq!(format_duration_ns(17), "17ns");
         assert_eq!(format_duration_ns(1_500), "1.5µs");

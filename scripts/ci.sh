@@ -8,14 +8,38 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q --workspace
 cargo test -q -p quicspin-telemetry
-cargo bench -p quicspin-bench --bench campaign_throughput -- --test
+
+# Bench smoke doubles as the BENCH_JSON report path check: one smoke
+# iteration per benchmark, report written, then diffed against itself
+# (which must always be regression-free).
+SPINCTL_DIR="$(mktemp -d)"
+trap 'rm -rf "$SPINCTL_DIR"' EXIT
+BENCH_JSON="$SPINCTL_DIR/bench.json" \
+  cargo bench -p quicspin-bench --bench campaign_throughput -- --test
+test -s "$SPINCTL_DIR/bench.json"
+cargo run --release -p quicspin-spinctl --bin spinctl -- \
+  compare --bench "$SPINCTL_DIR/bench.json" "$SPINCTL_DIR/bench.json"
 
 # spinctl smoke: tiny flight-recorded campaign, then read every artifact
 # back through the CLI (summary, anomaly listing, one rendered trace).
-SPINCTL_DIR="$(mktemp -d)"
-trap 'rm -rf "$SPINCTL_DIR"' EXIT
 cargo run --release -p quicspin-spinctl --bin spinctl -- \
-  run --dir "$SPINCTL_DIR" --domains 220 --seed 7 --sample-every 16
-cargo run --release -p quicspin-spinctl --bin spinctl -- summary --dir "$SPINCTL_DIR"
-cargo run --release -p quicspin-spinctl --bin spinctl -- anomalies --dir "$SPINCTL_DIR" --limit 5
-cargo run --release -p quicspin-spinctl --bin spinctl -- trace --first --dir "$SPINCTL_DIR"
+  run --dir "$SPINCTL_DIR/a" --domains 220 --seed 7 --sample-every 16
+cargo run --release -p quicspin-spinctl --bin spinctl -- summary --dir "$SPINCTL_DIR/a"
+cargo run --release -p quicspin-spinctl --bin spinctl -- anomalies --dir "$SPINCTL_DIR/a" --limit 5
+cargo run --release -p quicspin-spinctl --bin spinctl -- trace --first --dir "$SPINCTL_DIR/a"
+
+# Regression gate smoke: an identical-seed rerun compares clean (exit 0);
+# a rerun under 30% loss must trip the gate (exit 2).
+cargo run --release -p quicspin-spinctl --bin spinctl -- \
+  run --dir "$SPINCTL_DIR/b" --domains 220 --seed 7 --sample-every 16
+cargo run --release -p quicspin-spinctl --bin spinctl -- \
+  compare "$SPINCTL_DIR/a" "$SPINCTL_DIR/b"
+cargo run --release -p quicspin-spinctl --bin spinctl -- \
+  run --dir "$SPINCTL_DIR/c" --domains 220 --seed 7 --sample-every 16 --loss 0.30
+if cargo run --release -p quicspin-spinctl --bin spinctl -- \
+  compare "$SPINCTL_DIR/a" "$SPINCTL_DIR/c"; then
+  echo "ERROR: compare did not flag the lossy run" >&2
+  exit 1
+fi
+cargo run --release -p quicspin-spinctl --bin spinctl -- \
+  trend "$SPINCTL_DIR/a" "$SPINCTL_DIR/b" "$SPINCTL_DIR/c"

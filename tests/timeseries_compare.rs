@@ -1,0 +1,112 @@
+//! End-to-end tests of the campaign time-series layer and Chrome trace
+//! export: the persisted `timeseries.json` is byte-identical for any
+//! worker-thread count, `trace.json` round-trips as a Chrome
+//! array-of-events document, and the artifact readers fail loudly on
+//! missing or truncated files.
+
+use quicspin::qlog::ChromeEvent;
+use quicspin::scanner::{
+    build_timeseries, chrome_trace_export, read_chrome_trace, read_timeseries, write_chrome_trace,
+    write_timeseries, CampaignConfig, FlightConfig, Scanner,
+};
+use quicspin::webpop::{Population, PopulationConfig};
+use std::path::PathBuf;
+
+fn population(seed: u64, toplist: u32, zone: u32) -> Population {
+    Population::generate(PopulationConfig {
+        seed,
+        toplist_domains: toplist,
+        zone_domains: zone,
+    })
+}
+
+fn config(threads: usize) -> CampaignConfig {
+    let mut flight = FlightConfig::armed(0x7135);
+    flight.baseline_sample_every = 16;
+    CampaignConfig {
+        threads,
+        flight,
+        ..CampaignConfig::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("quicspin-ts-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn timeseries_file_is_byte_identical_across_thread_counts() {
+    let pop = population(0x7135, 70, 530);
+    let scanner = Scanner::new(&pop);
+    let mut files: Vec<Vec<u8>> = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let cfg = config(threads);
+        let campaign = scanner.run_campaign(&cfg);
+        let doc = build_timeseries(&campaign, &cfg, 128);
+        let dir = temp_dir(&format!("ident-{threads}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = write_timeseries(&dir, &doc).expect("write timeseries");
+        files.push(std::fs::read(&path).expect("read back"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(
+        files[0], files[1],
+        "timeseries.json must not depend on the worker count"
+    );
+    assert_eq!(files[1], files[2]);
+    assert!(!files[0].is_empty());
+}
+
+#[test]
+fn chrome_trace_round_trips_as_an_event_array() {
+    let pop = population(0xc402, 60, 420);
+    let cfg = config(2);
+    let (_campaign, recording) = Scanner::new(&pop).run_campaign_flight(&cfg);
+    let events = chrome_trace_export(&recording);
+    assert!(!events.is_empty(), "campaign must retain traces to export");
+
+    let dir = temp_dir("chrome");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = write_chrome_trace(&dir, &events).expect("write trace.json");
+
+    // Chrome's trace-event JSON array form: the file is one top-level
+    // array of event objects, each with ph/ts/pid/tid.
+    let raw = std::fs::read_to_string(&path).expect("read trace.json");
+    assert!(raw.trim_start().starts_with('['), "not an array: {raw:.40}");
+    let parsed: Vec<ChromeEvent> = serde_json::from_str(&raw).expect("parse as event array");
+    assert_eq!(parsed, events, "trace.json must round-trip exactly");
+    assert!(parsed.iter().any(|e| e.ph == "X"), "no complete spans");
+
+    let reread = read_chrome_trace(&dir).expect("read_chrome_trace");
+    assert_eq!(reread, events);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn artifact_readers_reject_missing_and_truncated_files() {
+    let dir = temp_dir("errors");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let err = read_timeseries(&dir).unwrap_err();
+    assert!(err.to_string().contains("timeseries.json"), "err: {err}");
+    let err = read_chrome_trace(&dir).unwrap_err();
+    assert!(err.to_string().contains("trace.json"), "err: {err}");
+
+    std::fs::write(dir.join("timeseries.json"), "{\"schema_version\": 1,").unwrap();
+    std::fs::write(dir.join("trace.json"), "[{\"name\":").unwrap();
+    let err = read_timeseries(&dir).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(
+        err.to_string().contains("corrupt time series"),
+        "err: {err}"
+    );
+    let err = read_chrome_trace(&dir).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(
+        err.to_string().contains("corrupt chrome trace"),
+        "err: {err}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

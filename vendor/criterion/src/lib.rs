@@ -11,8 +11,88 @@
 //! Like real criterion, passing `--test` on the bench binary's command
 //! line (`cargo bench -- --test`) runs every benchmark exactly once as a
 //! smoke test, skipping warm-up and measurement entirely.
+//!
+//! When the `BENCH_JSON` environment variable names a file, the binary
+//! additionally writes a machine-readable report there on exit (via
+//! [`write_report`], called by `criterion_main!`): schema version plus one
+//! `{name, group, case, mean_ns, min_ns, max_ns}` record per benchmark,
+//! where `group`/`case` split the full name at its first `/`. In `--test`
+//! mode the single smoke iteration's wall time stands in for all three
+//! statistics, so CI can exercise the report path cheaply.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One benchmark's timings, queued for the `BENCH_JSON` report.
+struct BenchRecord {
+    name: String,
+    mean_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn record_result(name: &str, mean_ns: f64, min_ns: f64, max_ns: f64) {
+    let clamp = |v: f64| {
+        if v.is_finite() && v > 0.0 {
+            v as u64
+        } else {
+            0
+        }
+    };
+    RESULTS.lock().unwrap().push(BenchRecord {
+        name: name.to_string(),
+        mean_ns: clamp(mean_ns),
+        min_ns: clamp(min_ns),
+        max_ns: clamp(max_ns),
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes the machine-readable benchmark report to the path named by the
+/// `BENCH_JSON` environment variable (no-op when unset). Called by
+/// `criterion_main!` after every group has run; exposed for harnesses
+/// that declare their own `main`.
+pub fn write_report() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut json = String::from("{\n  \"schema_version\": 1,\n  \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        let (group, case) = r.name.split_once('/').unwrap_or(("", r.name.as_str()));
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"group\": \"{}\", \"case\": \"{}\", \
+             \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+            json_escape(&r.name),
+            json_escape(group),
+            json_escape(case),
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+        ));
+    }
+    json.push_str("\n  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("BENCH_JSON: cannot write {path}: {e}");
+    } else {
+        println!("wrote benchmark report to {path}");
+    }
+}
 
 /// True when the binary was invoked with `--test` (smoke mode): each
 /// benchmark closure runs a single iteration and no timing is reported.
@@ -181,6 +261,8 @@ fn run_bench<F>(
             elapsed: Duration::ZERO,
         };
         f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64;
+        record_result(name, ns, ns, ns);
         println!("Testing {name} ... ok");
         return;
     }
@@ -225,6 +307,7 @@ fn run_bench<F>(
     let min = samples_ns.first().copied().unwrap_or(0.0);
     let max = samples_ns.last().copied().unwrap_or(0.0);
     let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    record_result(name, mean, min, max);
 
     let rate = throughput.map(|t| {
         let (n, unit) = match t {
@@ -292,6 +375,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_report();
         }
     };
 }
@@ -321,5 +405,23 @@ mod tests {
         g.sample_size(2);
         g.bench_function("sum", |b| b.iter(|| (0..8u64).sum::<u64>()));
         g.finish();
+    }
+
+    #[test]
+    fn bench_json_report_includes_group_and_case() {
+        let mut c = quick();
+        c.bench_function("report/escape\"me", |b| b.iter(|| 2u64 * 2));
+        let path = std::env::temp_dir().join(format!("bench-json-{}.json", std::process::id()));
+        // No other test in this crate reads or writes BENCH_JSON, so the
+        // process-global env mutation cannot race.
+        std::env::set_var("BENCH_JSON", &path);
+        write_report();
+        std::env::remove_var("BENCH_JSON");
+        let json = std::fs::read_to_string(&path).expect("report written");
+        let _ = std::fs::remove_file(&path);
+        assert!(json.contains("\"schema_version\": 1"), "json: {json}");
+        assert!(json.contains("\"group\": \"report\""), "json: {json}");
+        assert!(json.contains("\"case\": \"escape\\\"me\""), "json: {json}");
+        assert!(json.contains("\"mean_ns\""), "json: {json}");
     }
 }
