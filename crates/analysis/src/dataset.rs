@@ -40,7 +40,7 @@ pub struct DomainRollup {
 }
 
 /// Per-campaign summary: the material for Tables 1/3/4.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct CampaignSummary {
     /// One rollup per scanned domain.
     pub domains: Vec<DomainRollup>,
@@ -83,8 +83,14 @@ fn classify_domain(records: &[&ConnectionRecord]) -> DomainClass {
 impl CampaignSummary {
     /// Builds the summary from a campaign.
     pub fn build(campaign: &Campaign) -> Self {
+        Self::from_records(&campaign.records)
+    }
+
+    /// Builds the summary from a record slice — the shard-level entry
+    /// point of [`Dataset::build_parallel`](crate::parallel::Dataset).
+    pub fn from_records(records: &[ConnectionRecord]) -> Self {
         let mut per_domain: BTreeMap<u32, Vec<&ConnectionRecord>> = BTreeMap::new();
-        for r in &campaign.records {
+        for r in records {
             per_domain.entry(r.domain_id).or_default().push(r);
         }
         let mut domains = Vec::with_capacity(per_domain.len());
@@ -113,6 +119,17 @@ impl CampaignSummary {
             });
         }
         CampaignSummary { domains, hosts }
+    }
+
+    /// Merges a summary built over a later, disjoint stretch of the
+    /// record stream. Shards must be split on domain boundaries and
+    /// merged in stream order for `domains` to stay sorted by id.
+    pub fn merge(&mut self, other: CampaignSummary) {
+        self.domains.extend(other.domains);
+        for (host, spin) in other.hosts {
+            let entry = self.hosts.entry(host).or_insert(false);
+            *entry |= spin;
+        }
     }
 
     /// Domains of one list selection.

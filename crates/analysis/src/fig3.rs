@@ -27,7 +27,10 @@ pub struct AccuracySeries {
 }
 
 impl AccuracySeries {
-    fn from_diffs(diffs: &[f64]) -> Self {
+    /// Builds a series from per-connection mean differences (ms). The
+    /// diff order must match the record order for byte-identical results
+    /// across serial and sharded builds.
+    pub fn from_diffs(diffs: &[f64]) -> Self {
         let mut histogram = Histogram::new(fig3_edges());
         let mut over = 0u64;
         let mut within = 0u64;
@@ -69,7 +72,7 @@ pub struct AbsoluteAccuracyFigure {
 }
 
 /// Extracts `(received_diff_ms, sorted_diff_ms)` per qualifying record.
-fn diffs_for<'a>(
+pub fn diffs_for<'a>(
     records: impl Iterator<Item = &'a ConnectionRecord>,
     class: FlowClassification,
 ) -> (Vec<f64>, Vec<f64>) {

@@ -35,7 +35,8 @@ pub struct RatioSeries {
 }
 
 impl RatioSeries {
-    fn from_ratios(ratios: &[f64]) -> Self {
+    /// Builds a series from mapped ratios, in record order.
+    pub fn from_ratios(ratios: &[f64]) -> Self {
         let mut histogram = Histogram::new(fig4_edges());
         let mut within25 = 0u64;
         let mut within2 = 0u64;
@@ -86,7 +87,8 @@ pub struct RatioAccuracyFigure {
     pub grease_sorted: RatioSeries,
 }
 
-fn ratios_for<'a>(
+/// Extracts `(received_ratio, sorted_ratio)` per qualifying record.
+pub fn ratios_for<'a>(
     records: impl Iterator<Item = &'a ConnectionRecord>,
     class: FlowClassification,
 ) -> (Vec<f64>, Vec<f64>) {

@@ -14,6 +14,7 @@
 //! | [`reordering`] | §5.2 — received-order vs. sorted-order impact |
 //! | [`webserver`] | §4.2 — web-server attribution of spin support |
 //! | [`render`] | ASCII tables / bar charts and CSV export |
+//! | [`parallel`] | [`Dataset`] — every artefact at once, optionally sharded |
 
 pub mod dataset;
 pub mod fig2;
@@ -22,6 +23,7 @@ pub mod fig4;
 pub mod histogram;
 pub mod orgs;
 pub mod overview;
+pub mod parallel;
 pub mod render;
 pub mod reordering;
 pub mod spin_config;
@@ -36,6 +38,7 @@ pub use fig4::RatioAccuracyFigure;
 pub use histogram::Histogram;
 pub use orgs::OrgTable;
 pub use overview::OverviewTable;
+pub use parallel::Dataset;
 pub use reordering::ReorderingImpact;
 pub use spin_config::SpinConfigTable;
 pub use stats::Summary;

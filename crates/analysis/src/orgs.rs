@@ -2,12 +2,12 @@
 //! organizations (the paper maps IP → ASN via RIPE RIS, then ASN → org
 //! via CAIDA as2org; the population model carries the mapping directly).
 
-use quicspin_scanner::{Campaign, ScanOutcome};
+use quicspin_scanner::{Campaign, ConnectionRecord, ScanOutcome};
 use quicspin_webpop::{ListKind, Org, ALL_ORGS};
 use serde::{Deserialize, Serialize};
 
 /// One organization's row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OrgRow {
     /// Organization.
     pub org: Org,
@@ -34,7 +34,7 @@ impl OrgRow {
 }
 
 /// Table 2.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OrgTable {
     /// All organizations, ordered by total connections (descending).
     pub rows: Vec<OrgRow>,
@@ -51,7 +51,20 @@ impl OrgTable {
     pub fn from_campaign_filtered(campaign: &Campaign, filter: impl Fn(ListKind) -> bool) -> Self {
         let mut totals = [0u64; 9];
         let mut spins = [0u64; 9];
-        for r in &campaign.records {
+        Self::count_into(&campaign.records, filter, &mut totals, &mut spins);
+        Self::from_counts(totals, spins)
+    }
+
+    /// Accumulates per-org connection/spin counts over a record slice —
+    /// the shard-level half of the table build. Counts are plain sums,
+    /// so shard partials merge by element-wise addition.
+    pub fn count_into(
+        records: &[ConnectionRecord],
+        filter: impl Fn(ListKind) -> bool,
+        totals: &mut [u64; 9],
+        spins: &mut [u64; 9],
+    ) {
+        for r in records {
             if r.outcome != ScanOutcome::Ok || !filter(r.list) {
                 continue;
             }
@@ -61,6 +74,10 @@ impl OrgTable {
                 spins[idx] += 1;
             }
         }
+    }
+
+    /// Assembles the ranked table from (possibly shard-merged) counts.
+    pub fn from_counts(totals: [u64; 9], spins: [u64; 9]) -> Self {
         let mut rows: Vec<OrgRow> = ALL_ORGS
             .iter()
             .map(|&org| OrgRow {

@@ -75,11 +75,16 @@ pub struct OverviewTable {
 impl OverviewTable {
     /// Computes the table from one campaign.
     pub fn from_campaign(campaign: &Campaign) -> Self {
-        let summary = CampaignSummary::build(campaign);
+        Self::from_summary(&CampaignSummary::build(campaign))
+    }
+
+    /// Computes the table from a prebuilt (possibly shard-merged)
+    /// summary.
+    pub fn from_summary(summary: &CampaignSummary) -> Self {
         OverviewTable {
-            toplists: Self::row(&summary, |l| l == ListKind::Toplist),
-            czds: Self::row(&summary, ListKind::is_czds),
-            com_net_org: Self::row(&summary, |l| l == ListKind::ZoneComNetOrg),
+            toplists: Self::row(summary, |l| l == ListKind::Toplist),
+            czds: Self::row(summary, ListKind::is_czds),
+            com_net_org: Self::row(summary, |l| l == ListKind::ZoneComNetOrg),
         }
     }
 

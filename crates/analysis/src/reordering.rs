@@ -6,7 +6,7 @@ use quicspin_scanner::ConnectionRecord;
 use serde::{Deserialize, Serialize};
 
 /// Aggregate reordering-impact statistics over a set of connections.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ReorderingImpact {
     /// Connections with spin activity considered.
     pub connections: u64,
@@ -54,6 +54,15 @@ impl ReorderingImpact {
             }
         }
         out
+    }
+
+    /// Merges counters accumulated over a disjoint record set. All
+    /// fields are plain counts, so the merge is order-independent.
+    pub fn merge(&mut self, other: ReorderingImpact) {
+        self.connections += other.connections;
+        self.differing += other.differing;
+        self.small_delta += other.small_delta;
+        self.improved += other.improved;
     }
 
     /// Share of connections where R and S differ.

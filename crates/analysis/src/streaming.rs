@@ -14,7 +14,9 @@
 use crate::dataset::DomainClass;
 use crate::overview::{OverviewRow, OverviewTable};
 use quicspin_core::FlowClassification;
-use quicspin_scanner::{CampaignConfig, ConnectionRecord, ScanOutcome, Scanner};
+use quicspin_scanner::{
+    CampaignConfig, ConnectionRecord, RecordBatch, RecordRow, ScanOutcome, Scanner,
+};
 use quicspin_webpop::{HostAddr, ListKind};
 use std::collections::BTreeMap;
 
@@ -52,69 +54,85 @@ pub struct CampaignAggregates {
     hosts: BTreeMap<(ListKind, HostAddr), bool>,
 }
 
-/// One domain's class from its records (the campaign engine hands each
-/// domain's records to the fold in one contiguous group).
-fn classify(records: &[ConnectionRecord]) -> DomainClass {
-    let mut any_quic = false;
-    let mut any_spin = false;
-    let mut any_grease = false;
-    let mut any_one = false;
-    for r in records {
-        if r.outcome != ScanOutcome::Ok {
-            continue;
-        }
-        any_quic = true;
-        if let Some(report) = &r.report {
-            match report.classification {
-                FlowClassification::Spinning => any_spin = true,
-                FlowClassification::Greased => any_grease = true,
-                FlowClassification::AllOne => any_one = true,
-                FlowClassification::AllZero | FlowClassification::NoShortPackets => {}
-            }
-        }
-    }
-    if !any_quic {
-        DomainClass::NoQuic
-    } else if any_spin {
-        DomainClass::Spin
-    } else if any_grease {
-        DomainClass::Grease
-    } else if any_one {
-        DomainClass::AllOne
-    } else {
-        DomainClass::AllZero
-    }
-}
-
 impl CampaignAggregates {
     /// Folds one domain's records (all redirect hops) into the aggregates.
     pub fn fold_domain(&mut self, records: &[ConnectionRecord]) {
-        let Some(first) = records.first() else {
+        self.fold_rows(records.iter().map(RecordRow::of));
+    }
+
+    /// Folds every domain group of a columnar batch, in order — the
+    /// streamed campaign path's entry point. Produces exactly the same
+    /// aggregates as [`fold_domain`](CampaignAggregates::fold_domain)
+    /// over the equivalent record slices.
+    pub fn fold_batch(&mut self, batch: &RecordBatch) {
+        for group in batch.groups() {
+            self.fold_rows(group);
+        }
+    }
+
+    /// The row-based fold core shared by the record-slice and columnar
+    /// paths: a single pass over one domain's rows (all redirect hops).
+    pub fn fold_rows(&mut self, rows: impl Iterator<Item = RecordRow>) {
+        let mut first: Option<(ListKind, ScanOutcome)> = None;
+        let mut count = 0u64;
+        let mut established = 0u64;
+        let mut errored = 0u64;
+        let mut any_spin = false;
+        let mut any_grease = false;
+        let mut any_one = false;
+        let mut host: Option<HostAddr> = None;
+        for row in rows {
+            if first.is_none() {
+                first = Some((row.list, row.outcome));
+            }
+            count += 1;
+            match row.outcome {
+                ScanOutcome::Ok => {
+                    established += 1;
+                    match row.classification {
+                        Some(FlowClassification::Spinning) => any_spin = true,
+                        Some(FlowClassification::Greased) => any_grease = true,
+                        Some(FlowClassification::AllOne) => any_one = true,
+                        Some(FlowClassification::AllZero)
+                        | Some(FlowClassification::NoShortPackets)
+                        | None => {}
+                    }
+                }
+                ScanOutcome::HandshakeFailed | ScanOutcome::Unreachable => errored += 1,
+                ScanOutcome::NotResolved | ScanOutcome::NoQuic => {}
+            }
+            if host.is_none() {
+                host = row.host;
+            }
+        }
+        let Some((list, first_outcome)) = first else {
             return;
         };
-        self.domains += 1;
-        self.records += records.len() as u64;
-        self.established += records
-            .iter()
-            .filter(|r| r.outcome == ScanOutcome::Ok)
-            .count() as u64;
-        self.probes_errored += records
-            .iter()
-            .filter(|r| {
-                matches!(
-                    r.outcome,
-                    ScanOutcome::HandshakeFailed | ScanOutcome::Unreachable
-                )
-            })
-            .count() as u64;
 
-        let class = classify(records);
-        let quic = class != DomainClass::NoQuic;
+        self.domains += 1;
+        self.records += count;
+        self.established += established;
+        self.probes_errored += errored;
+
+        // Any established record means the domain answered QUIC; the
+        // class precedence mirrors the paper's taxonomy.
+        let quic = established > 0;
+        let class = if !quic {
+            DomainClass::NoQuic
+        } else if any_spin {
+            DomainClass::Spin
+        } else if any_grease {
+            DomainClass::Grease
+        } else if any_one {
+            DomainClass::AllOne
+        } else {
+            DomainClass::AllZero
+        };
         *self.class_counts.entry(class).or_default() += 1;
 
-        let counts = self.lists.entry(first.list).or_default();
+        let counts = self.lists.entry(list).or_default();
         counts.total += 1;
-        if first.outcome != ScanOutcome::NotResolved {
+        if first_outcome != ScanOutcome::NotResolved {
             counts.resolved += 1;
         }
         if quic {
@@ -125,8 +143,8 @@ impl CampaignAggregates {
         }
 
         if quic {
-            if let Some(host) = records.iter().find_map(|r| r.host) {
-                let entry = self.hosts.entry((first.list, host)).or_insert(false);
+            if let Some(host) = host {
+                let entry = self.hosts.entry((list, host)).or_insert(false);
                 *entry |= class == DomainClass::Spin;
             }
         }
@@ -210,6 +228,20 @@ pub fn aggregate_campaign(
     )
 }
 
+/// [`aggregate_campaign`] over the streamed, bounded-memory campaign
+/// path: columnar batches fold straight into the aggregates under a
+/// resident-byte budget (`0` = unbounded). Same result, flat memory.
+pub fn aggregate_campaign_streamed(
+    scanner: &Scanner,
+    config: &CampaignConfig,
+    ids: std::ops::Range<u32>,
+    budget_bytes: usize,
+) -> CampaignAggregates {
+    let mut agg = CampaignAggregates::default();
+    scanner.run_campaign_streamed_over(config, ids, budget_bytes, |batch| agg.fold_batch(batch));
+    agg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +317,17 @@ mod tests {
         let one = aggregate_campaign(&scanner, &config(1), ids.clone());
         let eight = aggregate_campaign(&scanner, &config(8), ids);
         assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn columnar_stream_matches_record_fold() {
+        let pop = pop();
+        let scanner = Scanner::new(&pop);
+        let cfg = config(4);
+        let ids = 0..pop.len() as u32;
+        let record_fold = aggregate_campaign(&scanner, &cfg, ids.clone());
+        let streamed = aggregate_campaign_streamed(&scanner, &cfg, ids, 16 * 1024);
+        assert_eq!(record_fold, streamed);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! §4.2's web-server attribution: which server software carries the spin
 //! bit support (the paper: LiteSpeed > 80 %, imunify360-webshield ~7 %).
 
-use quicspin_scanner::{Campaign, ScanOutcome};
+use quicspin_scanner::{Campaign, ConnectionRecord, ScanOutcome};
 use quicspin_webpop::WebServer;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -20,7 +20,18 @@ impl WebServerShares {
     pub fn from_campaign(campaign: &Campaign) -> Self {
         let mut all: BTreeMap<String, u64> = BTreeMap::new();
         let mut spinning: BTreeMap<String, u64> = BTreeMap::new();
-        for r in &campaign.records {
+        Self::count_into(&campaign.records, &mut all, &mut spinning);
+        WebServerShares { all, spinning }
+    }
+
+    /// Accumulates per-server counts over a record slice. Counts from
+    /// disjoint shards merge by per-key addition.
+    pub fn count_into(
+        records: &[ConnectionRecord],
+        all: &mut BTreeMap<String, u64>,
+        spinning: &mut BTreeMap<String, u64>,
+    ) {
+        for r in records {
             if r.outcome != ScanOutcome::Ok {
                 continue;
             }
@@ -31,7 +42,6 @@ impl WebServerShares {
                 *spinning.entry(name).or_default() += 1;
             }
         }
-        WebServerShares { all, spinning }
     }
 
     /// Share of spinning connections served by `server`.

@@ -1,45 +1,85 @@
-//! Generic discrete-event queue with stable FIFO tie-breaking.
+//! Discrete-event scheduling with stable FIFO tie-breaking.
+//!
+//! Two queues share one contract — events pop in `(time, insertion-order)`
+//! order, and `clear()` resets a queue so it schedules exactly like a
+//! fresh one:
+//!
+//! * [`EventQueue`] is a hierarchical timing wheel (calendar queue in the
+//!   Varghese–Lauck style): eight levels of 64 slots, each level covering
+//!   64× the span of the one below, with per-level occupancy bitmaps so
+//!   sparse schedules skip empty slots in O(1). `push` costs one XOR, one
+//!   leading-zeros and a `Vec` push; `pop` cascades an event through at
+//!   most `LEVELS` slots over its lifetime instead of paying a `log n`
+//!   sift per operation. This is the queue the simulator runs on.
+//! * [`BinaryHeapEventQueue`] is the original `BinaryHeap` scheduler,
+//!   kept as the reference implementation: the property tests below drive
+//!   both queues through identical seeded workloads and demand identical
+//!   pop sequences, and `benches/event_queue.rs` races them at 10³–10⁷
+//!   queued events.
+//!
+//! Determinism notes for the wheel: every event carries an insertion
+//! sequence number. All events in one level-0 slot share the exact same
+//! timestamp (the slot pins all 64 low bits relative to the cursor), so
+//! draining a slot sorts it by sequence number once and FIFO ties hold
+//! even when cascades from different levels interleave arrivals. Events
+//! scheduled beyond the wheel horizon (2⁴⁸ ns ≈ 3.3 days of virtual time)
+//! park in an unsorted overflow level and re-pour as the cursor
+//! approaches; events scheduled before the cursor (the reference heap
+//! allows time to run backwards) keep exact heap semantics via a small
+//! sorted side list.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Bits per wheel level: 64 slots each.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Mask extracting a slot index from a timestamp.
+const SLOT_MASK: u64 = SLOTS as u64 - 1;
+/// Number of hierarchical levels.
+const LEVELS: usize = 8;
+/// Deltas at or beyond this horizon go to the overflow level.
+const HORIZON: u64 = 1 << (SLOT_BITS * LEVELS as u32);
+
 /// An event scheduled for a point in simulated time.
 #[derive(Debug)]
 struct Scheduled<T> {
-    at: SimTime,
+    at: u64,
     seq: u64,
     payload: T,
 }
 
-impl<T> PartialEq for Scheduled<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<T> Eq for Scheduled<T> {}
-
-impl<T> Ord for Scheduled<T> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        // Ties break by insertion order (lower seq first) for determinism.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl<T> PartialOrd for Scheduled<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// One wheel level: 64 slots plus an occupancy bitmap.
+#[derive(Debug)]
+struct Level<T> {
+    occupied: u64,
+    slots: Vec<Vec<Scheduled<T>>>,
 }
 
 /// Priority queue of timed events; pops in (time, insertion-order) order.
+///
+/// Implemented as a hierarchical timing wheel — see the module docs. The
+/// public API is identical to [`BinaryHeapEventQueue`], which it replaced
+/// as the simulator's scheduler.
 #[derive(Debug)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Scheduled<T>>,
+    levels: Vec<Level<T>>,
+    /// Events due exactly at `elapsed`, sorted by descending sequence
+    /// number so FIFO pops come off the end in O(1).
+    due: Vec<Scheduled<T>>,
+    /// Events pushed at times before `elapsed`, sorted descending by
+    /// (time, seq); the minimum sits at the end. Rare in practice — the
+    /// simulator clamps timers to `now` — but required for exact
+    /// equivalence with the reference heap.
+    past: Vec<Scheduled<T>>,
+    /// Events beyond the wheel horizon, unsorted.
+    overflow: Vec<Scheduled<T>>,
+    /// Wheel cursor: the greatest slot time the wheel has advanced to.
+    elapsed: u64,
     seq: u64,
+    len: usize,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -52,6 +92,262 @@ impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
+            levels: (0..LEVELS)
+                .map(|_| Level {
+                    occupied: 0,
+                    slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+                })
+                .collect(),
+            due: Vec::new(),
+            past: Vec::new(),
+            overflow: Vec::new(),
+            elapsed: 0,
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Schedules `payload` at time `at`.
+    pub fn push(&mut self, at: SimTime, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        let at = at.as_nanos();
+        let ev = Scheduled { at, seq, payload };
+        if at < self.elapsed {
+            // Behind the cursor: keep heap semantics (pop by (at, seq))
+            // without rewinding the wheel.
+            let idx = self.past.partition_point(|e| (e.at, e.seq) > (at, seq));
+            self.past.insert(idx, ev);
+        } else {
+            self.place(ev);
+        }
+    }
+
+    /// Files an event (with `at >= elapsed`) into its wheel slot.
+    fn place(&mut self, ev: Scheduled<T>) {
+        debug_assert!(ev.at >= self.elapsed);
+        let delta_bits = ev.at ^ self.elapsed;
+        if delta_bits >= HORIZON {
+            self.overflow.push(ev);
+            return;
+        }
+        // The level is the highest 6-bit block where the timestamp
+        // differs from the cursor; within it the block value is the slot.
+        let level = if delta_bits == 0 {
+            0
+        } else {
+            (63 - delta_bits.leading_zeros()) as usize / SLOT_BITS as usize
+        };
+        let slot = ((ev.at >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+        let lvl = &mut self.levels[level];
+        lvl.occupied |= 1 << slot;
+        lvl.slots[slot].push(ev);
+    }
+
+    /// Index of the lowest level with any occupied slot. Events at a
+    /// lower level always precede events at a higher one: a level-`l`
+    /// event matches the cursor in every block above `l`, while a higher
+    /// level's events exceed the cursor in one of those blocks.
+    fn lowest_occupied_level(&self) -> Option<usize> {
+        self.levels.iter().position(|l| l.occupied != 0)
+    }
+
+    /// First occupied slot at `level`, counted from the cursor's slot.
+    /// Slots behind the cursor are impossible by construction (events are
+    /// re-poured before the cursor passes them), so no wrap-around.
+    fn first_occupied_slot(&self, level: usize) -> usize {
+        let cur = ((self.elapsed >> (SLOT_BITS * level as u32)) & SLOT_MASK) as u32;
+        let masked = self.levels[level].occupied >> cur;
+        debug_assert!(masked != 0, "occupied slot behind the wheel cursor");
+        (cur + masked.trailing_zeros()) as usize
+    }
+
+    /// Moves overflow events that fit the horizon into the wheel; if the
+    /// wheel is empty and only overflow remains, jumps the cursor to the
+    /// earliest overflow event first. An overflow event earlier than the
+    /// wheel's earliest is always already within the horizon (it lies
+    /// between the cursor and an in-horizon time), so one pass per pop
+    /// preserves global ordering.
+    fn refill_overflow(&mut self) {
+        if self.overflow.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.overflow.len() {
+            if (self.overflow[i].at ^ self.elapsed) < HORIZON {
+                let ev = self.overflow.swap_remove(i);
+                self.place(ev);
+            } else {
+                i += 1;
+            }
+        }
+        if !self.overflow.is_empty() && self.lowest_occupied_level().is_none() {
+            self.elapsed = self.overflow.iter().map(|e| e.at).min().unwrap();
+            let mut i = 0;
+            while i < self.overflow.len() {
+                if (self.overflow[i].at ^ self.elapsed) < HORIZON {
+                    let ev = self.overflow.swap_remove(i);
+                    self.place(ev);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        if let Some(ev) = self.past.pop() {
+            self.len -= 1;
+            return Some((SimTime::from_nanos(ev.at), ev.payload));
+        }
+        if let Some(ev) = self.due.pop() {
+            self.len -= 1;
+            return Some((SimTime::from_nanos(ev.at), ev.payload));
+        }
+        if self.len == 0 {
+            return None;
+        }
+        self.refill_overflow();
+        loop {
+            let level = self
+                .lowest_occupied_level()
+                .expect("non-empty queue has an occupied slot");
+            let slot = self.first_occupied_slot(level);
+            self.levels[level].occupied &= !(1u64 << slot);
+            let shift = SLOT_BITS * level as u32;
+            if level == 0 {
+                // Every event here shares the same timestamp (the slot
+                // pins all low bits); sort by seq once so FIFO ties hold
+                // even after cascades interleaved arrivals.
+                self.elapsed = (self.elapsed & !SLOT_MASK) | slot as u64;
+                std::mem::swap(&mut self.due, &mut self.levels[0].slots[slot]);
+                if self.due.len() > 1 {
+                    self.due.sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
+                }
+                let ev = self.due.pop().expect("occupied slot is non-empty");
+                debug_assert_eq!(ev.at, self.elapsed);
+                self.len -= 1;
+                return Some((SimTime::from_nanos(ev.at), ev.payload));
+            }
+            // Advance the cursor to the slot's start and cascade its
+            // events into lower levels; hand the allocation back after.
+            let range_mask = (1u64 << (shift + SLOT_BITS)) - 1;
+            self.elapsed = (self.elapsed & !range_mask) | ((slot as u64) << shift);
+            let mut events = std::mem::take(&mut self.levels[level].slots[slot]);
+            for ev in events.drain(..) {
+                self.place(ev);
+            }
+            self.levels[level].slots[slot] = events;
+        }
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some(ev) = self.past.last() {
+            return Some(SimTime::from_nanos(ev.at));
+        }
+        if let Some(ev) = self.due.last() {
+            return Some(SimTime::from_nanos(ev.at));
+        }
+        let mut best: Option<u64> = None;
+        if let Some(level) = self.lowest_occupied_level() {
+            let slot = self.first_occupied_slot(level);
+            best = self.levels[level].slots[slot].iter().map(|e| e.at).min();
+        }
+        if let Some(omin) = self.overflow.iter().map(|e| e.at).min() {
+            best = Some(best.map_or(omin, |b| b.min(omin)));
+        }
+        best.map(SimTime::from_nanos)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops all pending events, rewinds the cursor and resets the
+    /// insertion counter, keeping every slot's allocation: a cleared
+    /// queue schedules exactly like a fresh one, which is what lets
+    /// simulator storage be reused across runs without perturbing
+    /// determinism.
+    pub fn clear(&mut self) {
+        for level in &mut self.levels {
+            let mut occ = level.occupied;
+            while occ != 0 {
+                let slot = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                level.slots[slot].clear();
+            }
+            level.occupied = 0;
+        }
+        self.due.clear();
+        self.past.clear();
+        self.overflow.clear();
+        self.elapsed = 0;
+        self.seq = 0;
+        self.len = 0;
+    }
+}
+
+/// A heap-scheduled event, ordered for min-popping.
+#[derive(Debug)]
+struct HeapScheduled<T> {
+    at: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for HeapScheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for HeapScheduled<T> {}
+
+impl<T> Ord for HeapScheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // Ties break by insertion order (lower seq first) for determinism.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for HeapScheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The original `BinaryHeap` scheduler, kept as the reference
+/// implementation the timing wheel is differentially tested and
+/// benchmarked against. Pop order and `clear()` semantics are identical
+/// to [`EventQueue`]; only the complexity differs (O(log n) per
+/// operation versus the wheel's amortized O(1)).
+#[derive(Debug)]
+pub struct BinaryHeapEventQueue<T> {
+    heap: BinaryHeap<HeapScheduled<T>>,
+    seq: u64,
+}
+
+impl<T> Default for BinaryHeapEventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> BinaryHeapEventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        BinaryHeapEventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
         }
@@ -61,7 +357,7 @@ impl<T> EventQueue<T> {
     pub fn push(&mut self, at: SimTime, payload: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { at, seq, payload });
+        self.heap.push(HeapScheduled { at, seq, payload });
     }
 
     /// Removes and returns the earliest event.
@@ -85,9 +381,7 @@ impl<T> EventQueue<T> {
     }
 
     /// Drops all pending events and resets the insertion counter, keeping
-    /// the heap's allocation: a cleared queue schedules exactly like a
-    /// fresh one, which is what lets simulator storage be reused across
-    /// runs without perturbing determinism.
+    /// the heap's allocation.
     pub fn clear(&mut self) {
         self.heap.clear();
         self.seq = 0;
@@ -153,6 +447,52 @@ mod tests {
         assert!(q.is_empty());
     }
 
+    #[test]
+    fn push_behind_cursor_pops_first() {
+        // The reference heap lets time run backwards; the wheel must too.
+        let mut q = EventQueue::new();
+        q.push(t(10), "late");
+        assert_eq!(q.pop(), Some((t(10), "late")));
+        q.push(t(20), "future");
+        q.push(t(3), "behind-b");
+        q.push(t(2), "behind-a");
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop(), Some((t(2), "behind-a")));
+        assert_eq!(q.pop(), Some((t(3), "behind-b")));
+        assert_eq!(q.pop(), Some((t(20), "future")));
+    }
+
+    #[test]
+    fn overflow_horizon_round_trips() {
+        // Events farther than 2^48 ns apart park in the overflow level
+        // and still pop in global order.
+        let mut q = EventQueue::new();
+        let far = SimTime::from_nanos(HORIZON * 3 + 17);
+        let farther = SimTime::from_nanos(HORIZON * 5 + 1);
+        q.push(far, "far");
+        q.push(t(1), "near");
+        q.push(farther, "farther");
+        assert_eq!(q.peek_time(), Some(t(1)));
+        assert_eq!(q.pop(), Some((t(1), "near")));
+        assert_eq!(q.peek_time(), Some(far));
+        assert_eq!(q.pop(), Some((far, "far")));
+        assert_eq!(q.pop(), Some((farther, "farther")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_same_tick_pushes_keep_fifo() {
+        let mut q = EventQueue::new();
+        q.push(t(5), 0);
+        q.push(t(5), 1);
+        assert_eq!(q.pop(), Some((t(5), 0)));
+        // The queue now sits at t=5 with event 1 in the `due` list; a new
+        // same-tick push must pop after it.
+        q.push(t(5), 2);
+        assert_eq!(q.pop(), Some((t(5), 1)));
+        assert_eq!(q.pop(), Some((t(5), 2)));
+    }
+
     proptest::proptest! {
         #[test]
         fn prop_always_pops_nondecreasing(times in proptest::collection::vec(0u64..1_000, 1..100)) {
@@ -166,6 +506,89 @@ mod tests {
                     proptest::prop_assert!(at >= prev);
                 }
                 last = Some(at);
+            }
+        }
+
+        /// Differential test: the wheel and the reference heap must emit
+        /// identical (time, payload) sequences — including same-tick FIFO
+        /// ties — under interleaved pushes and pops. Times collide often
+        /// (small range) to hammer the tie-break path, and pushes after
+        /// pops may land behind the cursor.
+        #[test]
+        fn prop_wheel_matches_heap(
+            ops in proptest::collection::vec((0u64..2_000, 0u32..10), 1..400)
+        ) {
+            let mut wheel = EventQueue::new();
+            let mut heap = BinaryHeapEventQueue::new();
+            let mut payload = 0u64;
+            for &(time, roll) in &ops {
+                if roll < 4 {
+                    proptest::prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                    proptest::prop_assert_eq!(wheel.pop(), heap.pop());
+                } else {
+                    let at = SimTime::from_nanos(time * 1_000);
+                    wheel.push(at, payload);
+                    heap.push(at, payload);
+                    payload += 1;
+                }
+                proptest::prop_assert_eq!(wheel.len(), heap.len());
+            }
+            loop {
+                let (w, h) = (wheel.pop(), heap.pop());
+                proptest::prop_assert_eq!(&w, &h);
+                if w.is_none() {
+                    break;
+                }
+            }
+        }
+
+        /// Same differential contract across the full u64 range, so
+        /// cascades through every wheel level and the overflow horizon
+        /// are exercised.
+        #[test]
+        fn prop_wheel_matches_heap_full_range(
+            times in proptest::collection::vec(proptest::prelude::any::<u64>(), 1..64)
+        ) {
+            let mut wheel = EventQueue::new();
+            let mut heap = BinaryHeapEventQueue::new();
+            for (i, &ns) in times.iter().enumerate() {
+                wheel.push(SimTime::from_nanos(ns), i);
+                heap.push(SimTime::from_nanos(ns), i);
+            }
+            loop {
+                let (w, h) = (wheel.pop(), heap.pop());
+                proptest::prop_assert_eq!(&w, &h);
+                if w.is_none() {
+                    break;
+                }
+            }
+        }
+
+        /// A cleared wheel must behave exactly like a fresh one even
+        /// after cascades advanced the cursor.
+        #[test]
+        fn prop_clear_restores_fresh_behaviour(
+            warmup in proptest::collection::vec(proptest::prelude::any::<u64>(), 1..32),
+            replay in proptest::collection::vec(0u64..500, 1..64)
+        ) {
+            let mut reused = EventQueue::new();
+            for (i, &ns) in warmup.iter().enumerate() {
+                reused.push(SimTime::from_nanos(ns), i);
+            }
+            while reused.pop().is_some() {}
+            reused.clear();
+
+            let mut fresh = EventQueue::new();
+            for (i, &ms) in replay.iter().enumerate() {
+                reused.push(t(ms), i);
+                fresh.push(t(ms), i);
+            }
+            loop {
+                let (a, b) = (reused.pop(), fresh.pop());
+                proptest::prop_assert_eq!(&a, &b);
+                if a.is_none() {
+                    break;
+                }
             }
         }
     }

@@ -23,7 +23,7 @@ pub mod rng;
 pub mod sim;
 pub mod time;
 
-pub use event::EventQueue;
+pub use event::{BinaryHeapEventQueue, EventQueue};
 pub use link::{Link, LinkConfig, Transit};
 pub use payload::Payload;
 pub use pcap::{read_pcap, write_pcap, PcapError};

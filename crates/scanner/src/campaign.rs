@@ -7,6 +7,7 @@
 //! shard. Per-batch results are merged in batch-index order, which makes
 //! the output bit-identical for any thread count.
 
+use crate::batch::RecordBatch;
 use crate::flight::{FlightConfig, FlightRecording, FlightShard};
 use crate::probe::{probe_connection_scratch, NetworkConditions, ProbeScratch};
 use crate::record::{ConnectionRecord, ScanOutcome};
@@ -17,8 +18,9 @@ use quicspin_telemetry::{
     TimeSeries, DEFAULT_TIMESERIES_CAPACITY,
 };
 use quicspin_webpop::{IpVersion, Population};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Number of domain ids a worker claims per cursor fetch. Small enough to
@@ -443,6 +445,221 @@ impl<'p> Scanner<'p> {
         (acc, flight)
     }
 
+    /// Runs a full sweep in streamed, bounded-memory mode: every finished
+    /// scheduler batch reaches `sink` as a columnar [`RecordBatch`], in
+    /// strict batch-index order, and is dropped right after — the full
+    /// record vector never exists. Aggregates, time series and flight
+    /// artifacts folded from the stream are byte-identical to the
+    /// materializing path for any worker-thread count, because the sink
+    /// sees exactly the per-batch merge sequence `run_campaign` uses.
+    ///
+    /// `budget_bytes` is the high-water byte budget for resident columnar
+    /// records (finished batches awaiting the in-order merge plus the one
+    /// being folded); `0` means unbounded. Workers stop claiming new
+    /// batches while the budget is exhausted, so the overshoot is bounded
+    /// by one in-flight batch per worker. Peak residency is reported on
+    /// the [`GaugeId::PeakRecordBytes`] gauge, the merge-queue depth on
+    /// [`GaugeId::EventQueueDepth`], and the configured budget on
+    /// [`GaugeId::RecordBudgetBytes`].
+    pub fn run_campaign_streamed<S>(&self, config: &CampaignConfig, budget_bytes: usize, sink: S)
+    where
+        S: FnMut(&RecordBatch),
+    {
+        let n = self.population.len() as u32;
+        self.run_campaign_streamed_over(config, 0..n, budget_bytes, sink);
+    }
+
+    /// [`run_campaign_streamed`](Scanner::run_campaign_streamed) with the
+    /// flight recorder armed; returns the finalized recording (records
+    /// streamed to `sink` match a non-flight run exactly, as in
+    /// [`run_campaign_flight`](Scanner::run_campaign_flight)).
+    pub fn run_campaign_streamed_flight<S>(
+        &self,
+        config: &CampaignConfig,
+        budget_bytes: usize,
+        sink: S,
+    ) -> FlightRecording
+    where
+        S: FnMut(&RecordBatch),
+    {
+        let mut config = config.clone();
+        config.flight.enabled = true;
+        let n = self.population.len() as u32;
+        let shard = self.run_campaign_streamed_over(&config, 0..n, budget_bytes, sink);
+        self.finalize_flight(&config, shard)
+    }
+
+    /// The streamed engine's core: sweeps `ids` and hands each finished
+    /// batch to `sink` in batch-index order, returning the merged (not
+    /// yet finalized) flight shard. See
+    /// [`run_campaign_streamed`](Scanner::run_campaign_streamed).
+    pub fn run_campaign_streamed_over<S>(
+        &self,
+        config: &CampaignConfig,
+        ids: std::ops::Range<u32>,
+        budget_bytes: usize,
+        mut sink: S,
+    ) -> FlightShard
+    where
+        S: FnMut(&RecordBatch),
+    {
+        let threads = config.threads.max(1);
+        let batches = (ids.end.saturating_sub(ids.start)).div_ceil(BATCH_SIZE);
+        let reg = &*config.telemetry;
+        if reg.is_enabled() {
+            reg.gauge_set(GaugeId::RecordBudgetBytes, budget_bytes as u64);
+        }
+        let cursor = AtomicU32::new(0);
+
+        // Scans one claimed batch into `out`. Mirrors the fold engine's
+        // inner loop exactly (same counters, same stage spans), so the
+        // streamed and materializing paths produce identical manifests up
+        // to machine-shape gauges.
+        let produce = |batch: u32,
+                       scratch: &mut ProbeScratch,
+                       warm: &mut bool,
+                       domain_records: &mut Vec<ConnectionRecord>,
+                       out: &mut RecordBatch| {
+            let reg = &*config.telemetry;
+            reg.incr(Metric::BatchesClaimed);
+            let lo = ids.start + batch * BATCH_SIZE;
+            let hi = lo.saturating_add(BATCH_SIZE).min(ids.end);
+            for id in lo..hi {
+                domain_records.clear();
+                reg.incr(Metric::ProbesStarted);
+                if *warm {
+                    scratch.telemetry.incr(Metric::ScratchReuseHits);
+                } else {
+                    *warm = true;
+                }
+                let t = scratch.telemetry.timer();
+                self.scan_domain_into(id, config, scratch, domain_records);
+                scratch.telemetry.record_since(Stage::Probe, t);
+                note_domain_records(reg, domain_records);
+                out.push_group(domain_records);
+            }
+        };
+
+        if threads == 1 || batches <= 1 {
+            // Sequential: produce and fold each batch in place, reusing
+            // one columnar scratch batch across the whole sweep.
+            let mut scratch = ProbeScratch::default();
+            scratch.telemetry.set_enabled(reg.is_enabled());
+            let mut warm = false;
+            let mut domain_records: Vec<ConnectionRecord> = Vec::new();
+            let mut out = RecordBatch::new();
+            loop {
+                let batch = cursor.fetch_add(1, Ordering::Relaxed);
+                if batch >= batches {
+                    break;
+                }
+                out.clear();
+                produce(
+                    batch,
+                    &mut scratch,
+                    &mut warm,
+                    &mut domain_records,
+                    &mut out,
+                );
+                if reg.is_enabled() {
+                    reg.gauge_max(GaugeId::PeakRecordBytes, out.approx_bytes() as u64);
+                    reg.gauge_max(GaugeId::EventQueueDepth, 1);
+                }
+                sink(&out);
+            }
+            reg.absorb(&scratch.telemetry);
+            reg.incr(Metric::WorkersFinished);
+            return std::mem::take(&mut scratch.flight);
+        }
+
+        // Threaded: workers publish finished batches into a shared
+        // in-order merge queue; the calling thread is the consumer,
+        // draining strictly by batch index. A batch stays accounted
+        // against the budget until the sink has folded it. Workers block
+        // only *before claiming new work*, never between claim and
+        // publish — the batch the consumer waits for next is therefore
+        // always either unclaimed (in which case nothing is resident and
+        // the gate is open) or already on its way, so the budget cannot
+        // deadlock the pipeline.
+        struct StreamShared {
+            pending: BTreeMap<u32, (RecordBatch, usize)>,
+            resident: usize,
+        }
+        let shared = Mutex::new(StreamShared {
+            pending: BTreeMap::new(),
+            resident: 0,
+        });
+        let ready = Condvar::new();
+        let space = Condvar::new();
+
+        let worker = || -> FlightShard {
+            let reg = &*config.telemetry;
+            let mut scratch = ProbeScratch::default();
+            scratch.telemetry.set_enabled(reg.is_enabled());
+            let mut warm = false;
+            let mut domain_records: Vec<ConnectionRecord> = Vec::new();
+            loop {
+                if budget_bytes > 0 {
+                    let mut s = shared.lock().unwrap();
+                    while s.resident >= budget_bytes {
+                        s = space.wait(s).unwrap();
+                    }
+                }
+                let batch = cursor.fetch_add(1, Ordering::Relaxed);
+                if batch >= batches {
+                    break;
+                }
+                let mut out = RecordBatch::new();
+                produce(
+                    batch,
+                    &mut scratch,
+                    &mut warm,
+                    &mut domain_records,
+                    &mut out,
+                );
+                let bytes = out.approx_bytes();
+                let mut s = shared.lock().unwrap();
+                s.resident += bytes;
+                s.pending.insert(batch, (out, bytes));
+                if reg.is_enabled() {
+                    reg.gauge_max(GaugeId::PeakRecordBytes, s.resident as u64);
+                    reg.gauge_max(GaugeId::EventQueueDepth, s.pending.len() as u64);
+                }
+                drop(s);
+                ready.notify_one();
+            }
+            reg.absorb(&scratch.telemetry);
+            reg.incr(Metric::WorkersFinished);
+            std::mem::take(&mut scratch.flight)
+        };
+
+        let workers = threads.min(batches as usize);
+        let mut flight = FlightShard::default();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers).map(|_| scope.spawn(worker)).collect();
+            for next in 0..batches {
+                let (batch, bytes) = {
+                    let mut s = shared.lock().unwrap();
+                    loop {
+                        if let Some(entry) = s.pending.remove(&next) {
+                            break entry;
+                        }
+                        s = ready.wait(s).unwrap();
+                    }
+                };
+                sink(&batch);
+                let mut s = shared.lock().unwrap();
+                s.resident -= bytes;
+                drop(s);
+                space.notify_all();
+            }
+            for handle in handles {
+                flight.merge(handle.join().expect("stream worker panicked"));
+            }
+        });
+        flight
+    }
+
     /// Runs a full sweep with the flight recorder armed: every probe is
     /// inspected for anomalies and flagged probes' qlog traces are
     /// retained (bounded by `config.flight.retention_budget_bytes`).
@@ -474,9 +691,22 @@ impl<'p> Scanner<'p> {
             },
             |acc, mut batch| acc.append(&mut batch),
         );
-        // The index must be byte-identical for any worker count, so the
-        // config echo drops the one execution-environment entry; the run
-        // manifest still records it.
+        let recording = self.finalize_flight(&config, shard);
+        (
+            Campaign {
+                week: config.week,
+                version: config.version,
+                records,
+            },
+            recording,
+        )
+    }
+
+    /// Finalizes a merged flight shard into a recording and notes the
+    /// retention metrics. The index must be byte-identical for any worker
+    /// count, so the config echo drops the one execution-environment
+    /// entry; the run manifest still records it.
+    fn finalize_flight(&self, config: &CampaignConfig, shard: FlightShard) -> FlightRecording {
         let index_config = config
             .config_entries()
             .into_iter()
@@ -493,14 +723,7 @@ impl<'p> Scanner<'p> {
             reg.add(Metric::FlightTracesEvicted, recording.evicted_traces());
             reg.add(Metric::FlightTraceBytesRetained, recording.retained_bytes());
         }
-        (
-            Campaign {
-                week: config.week,
-                version: config.version,
-                records,
-            },
-            recording,
-        )
+        recording
     }
 
     /// Runs a full sweep with live progress reporting and a run manifest.
@@ -547,6 +770,34 @@ impl<'p> Scanner<'p> {
                 scanner.run_campaign_flight(cfg)
             });
         (campaign, recording, manifest)
+    }
+
+    /// The streamed, bounded-memory campaign with the flight recorder
+    /// armed, live progress reporting, and a run manifest — the full
+    /// operator path without ever materializing the record vector.
+    /// Columnar batches reach `batch_sink` on the calling thread, in
+    /// deterministic batch order; `budget_bytes` caps resident record
+    /// bytes as in [`run_campaign_streamed`](Scanner::run_campaign_streamed)
+    /// (`0` = unbounded).
+    pub fn run_campaign_streamed_flight_with_progress<S, F>(
+        &self,
+        config: &CampaignConfig,
+        budget_bytes: usize,
+        progress_every: Duration,
+        progress: F,
+        batch_sink: S,
+    ) -> (FlightRecording, RunManifest)
+    where
+        S: FnMut(&RecordBatch),
+        F: FnMut(&str) + Send,
+    {
+        let mut config = config.clone();
+        config.flight.enabled = true;
+        self.run_with_progress_impl(&config, progress_every, progress, move |scanner, cfg| {
+            let n = scanner.population.len() as u32;
+            let shard = scanner.run_campaign_streamed_over(cfg, 0..n, budget_bytes, batch_sink);
+            scanner.finalize_flight(cfg, shard)
+        })
     }
 
     /// Shared monitor-thread scaffolding for the `*_with_progress` family.
@@ -908,6 +1159,82 @@ mod tests {
         assert_eq!(count(5..5), 0);
         assert_eq!(count(5..6), 1);
         assert_eq!(count(0..65), 65);
+    }
+
+    #[test]
+    fn streamed_batches_match_materialized_records_in_order() {
+        let pop = tiny_pop();
+        let scanner = Scanner::new(&pop);
+        let cfg = CampaignConfig {
+            threads: 4,
+            ..clean_config()
+        };
+        let materialized = scanner.run_campaign(&cfg);
+        let mut rows = Vec::new();
+        scanner.run_campaign_streamed(&cfg, 0, |batch| {
+            for group in batch.groups() {
+                rows.extend(group);
+            }
+        });
+        assert_eq!(rows.len(), materialized.len());
+        for (row, record) in rows.iter().zip(&materialized.records) {
+            assert_eq!(*row, crate::batch::RecordRow::of(record));
+        }
+    }
+
+    #[test]
+    fn streamed_budget_bounds_resident_bytes() {
+        let pop = tiny_pop();
+        let scanner = Scanner::new(&pop);
+        let reg = Arc::new(Registry::new());
+        let cfg = CampaignConfig {
+            threads: 4,
+            telemetry: Arc::clone(&reg),
+            ..clean_config()
+        };
+        let budget = 16 * 1024usize;
+        let mut batches = 0u32;
+        let mut max_batch = 0usize;
+        scanner.run_campaign_streamed(&cfg, budget, |batch| {
+            batches += 1;
+            max_batch = max_batch.max(batch.approx_bytes());
+        });
+        assert_eq!(batches, (pop.len() as u32).div_ceil(BATCH_SIZE));
+        assert_eq!(reg.gauge(GaugeId::RecordBudgetBytes), budget as u64);
+        assert!(reg.gauge(GaugeId::EventQueueDepth) >= 1);
+        let peak = reg.gauge(GaugeId::PeakRecordBytes) as usize;
+        assert!(peak > 0);
+        // Workers only stop claiming *new* work when the budget is
+        // exhausted, so the peak can overshoot by at most one in-flight
+        // batch per worker.
+        assert!(
+            peak <= budget + 4 * max_batch,
+            "peak {peak} exceeds budget {budget} plus 4x{max_batch} slack"
+        );
+    }
+
+    #[test]
+    fn streamed_counters_match_materializing_path() {
+        let pop = tiny_pop();
+        let scanner = Scanner::new(&pop);
+        let run = |streamed: bool| {
+            let reg = Arc::new(Registry::new());
+            let cfg = CampaignConfig {
+                threads: 4,
+                telemetry: Arc::clone(&reg),
+                ..clean_config()
+            };
+            if streamed {
+                scanner.run_campaign_streamed(&cfg, 8 * 1024, |_| {});
+            } else {
+                scanner.run_campaign(&cfg);
+            }
+            serde_json::to_string_pretty(
+                &reg.manifest(cfg.config_entries(), 0).deterministic_view(),
+            )
+            .unwrap()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

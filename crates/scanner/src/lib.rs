@@ -16,6 +16,7 @@
 //!   count because every connection is seeded independently.
 
 pub mod artifacts;
+pub mod batch;
 pub mod campaign;
 pub mod flight;
 pub mod longitudinal;
@@ -30,6 +31,7 @@ pub use artifacts::{
     ANOMALY_INDEX_FILE_NAME, CHROME_TRACE_FILE_NAME, MANIFEST_FILE_NAME, TIMESERIES_FILE_NAME,
     TRACE_STORE_FILE_NAME,
 };
+pub use batch::{RecordBatch, RecordRow};
 pub use campaign::{Campaign, CampaignConfig, Scanner};
 pub use flight::{
     Anomaly, AnomalyIndex, AnomalyKind, FlightConfig, FlightRecording, FlightShard, ProbeId,
@@ -39,4 +41,4 @@ pub use longitudinal::{run_longitudinal, DomainWeeks, LongitudinalConfig, Longit
 pub use probe::{probe_connection, probe_connection_scratch, NetworkConditions, ProbeScratch};
 pub use quicspin_telemetry::{ProgressSnapshot, Registry, RunManifest, TimeSeriesDoc};
 pub use record::{ConnectionRecord, ScanOutcome};
-pub use timeseries::{build_timeseries, chrome_trace_export};
+pub use timeseries::{build_timeseries, chrome_trace_export, TimeSeriesBuilder};

@@ -37,6 +37,15 @@ pub struct ProbeScratch {
     /// Worker-private flight-recorder state (anomalies + retained traces),
     /// merged at fold time like [`ProbeScratch::telemetry`].
     pub flight: crate::flight::FlightShard,
+    /// One-entry name cache: the `www.` query target of the domain
+    /// currently being probed. A probe resolves the same name at several
+    /// call sites (request host, redirect location, qlog titles) across
+    /// up to two hops; the cache formats it once per domain instead of
+    /// once per call. The worker-side counterpart of render-time
+    /// interning via [`quicspin_webpop::SymbolTable`] — deliberately one
+    /// entry, so memory stays flat over million-domain sweeps.
+    www_name: String,
+    www_name_for: Option<u32>,
 }
 
 impl ProbeScratch {
@@ -44,6 +53,19 @@ impl ProbeScratch {
     /// recycling its event buffer for the next probe.
     pub fn restock_qlog(&mut self, trace: quicspin_qlog::TraceLog) {
         self.lab.restock_client_events(trace.events);
+    }
+
+    /// The cached `www.` query target for `domain` (equal to
+    /// [`DomainRecord::www_name`]), formatted on the first call per
+    /// domain and borrowed on every later one.
+    fn www_target(&mut self, domain: &DomainRecord) -> &str {
+        if self.www_name_for != Some(domain.id) {
+            use std::fmt::Write as _;
+            self.www_name.clear();
+            let _ = write!(self.www_name, "www.{}", domain.name());
+            self.www_name_for = Some(domain.id);
+        }
+        &self.www_name
     }
 }
 
@@ -192,7 +214,7 @@ pub fn probe_connection_scratch(
 ) -> (ConnectionRecord, Option<Response>) {
     // Build the HTTP exchange for this hop.
     let request = Request::get(
-        domain.www_name(),
+        scratch.www_target(domain),
         if redirect_depth == 0 {
             "/"
         } else {
@@ -203,7 +225,7 @@ pub fn probe_connection_scratch(
     let response = if is_redirect_hop {
         Response::redirect(
             plan.webserver.header_value(),
-            format!("https://{}/canonical", domain.www_name()),
+            format!("https://{}/canonical", scratch.www_target(domain)),
         )
     } else {
         Response::ok(
@@ -270,7 +292,7 @@ pub fn probe_connection_scratch(
         scratch.telemetry.incr(Metric::HandshakesFailed);
         let qlog = (keep_qlog || scratch.flight_inspect).then(|| {
             let mut trace = std::mem::take(&mut outcome.client_qlog);
-            trace.title = domain.www_name();
+            trace.title = scratch.www_target(domain).to_owned();
             if scratch.flight_inspect {
                 scratch.telemetry.incr(Metric::FlightTracesInspected);
             }
@@ -316,7 +338,7 @@ pub fn probe_connection_scratch(
 
     let qlog = (keep_qlog || scratch.flight_inspect).then(|| {
         let mut trace = std::mem::take(&mut outcome.client_qlog);
-        trace.title = domain.www_name();
+        trace.title = scratch.www_target(domain).to_owned();
         if keep_qlog {
             scratch.telemetry.incr(Metric::QlogTracesRetained);
         }

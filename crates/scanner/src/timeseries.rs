@@ -16,9 +16,10 @@
 //! instant mark per detected anomaly — into the Chrome trace-event array
 //! form (`trace.json`), loadable in Perfetto or `chrome://tracing`.
 
+use crate::batch::{RecordBatch, RecordRow};
 use crate::campaign::{Campaign, CampaignConfig};
 use crate::flight::FlightRecording;
-use crate::record::{ConnectionRecord, ScanOutcome};
+use crate::record::ScanOutcome;
 use quicspin_core::FlowClassification;
 use quicspin_qlog::{chrome_trace_events, ChromeArgs, ChromeEvent};
 use quicspin_telemetry::{
@@ -49,29 +50,30 @@ struct CumulativeState {
 }
 
 impl CumulativeState {
-    /// Folds one domain's records (all its redirect hops) in.
-    fn absorb_domain(&mut self, records: &[ConnectionRecord]) {
+    /// Folds one domain's rows (all its redirect hops) in. Shared by the
+    /// record-slice path and the columnar [`RecordBatch`] path.
+    fn absorb_group(&mut self, rows: impl Iterator<Item = RecordRow>) {
         self.probes += 1;
-        self.records += records.len() as u64;
         let mut errored = false;
-        for r in records {
-            if r.redirect_depth > 0 {
+        for row in rows {
+            self.records += 1;
+            if row.redirect_depth > 0 {
                 self.redirects += 1;
             }
             errored |= matches!(
-                r.outcome,
+                row.outcome,
                 ScanOutcome::HandshakeFailed | ScanOutcome::Unreachable
             );
-            self.virtual_us += r.virtual_total_us;
-            self.queue_high_water = self.queue_high_water.max(r.queue_high_water);
-            if let Some(hs) = r.virtual_handshake_us {
+            self.virtual_us += row.virtual_total_us;
+            self.queue_high_water = self.queue_high_water.max(row.queue_high_water);
+            if let Some(hs) = row.virtual_handshake_us {
                 self.handshake_us.record(hs);
             }
-            if r.virtual_total_us > 0 {
-                self.total_us.record(r.virtual_total_us);
+            if row.virtual_total_us > 0 {
+                self.total_us.record(row.virtual_total_us);
             }
-            if let Some(report) = &r.report {
-                if let Some(slot) = MIX_CLASSES.iter().position(|&c| c == report.classification) {
+            if let Some(classification) = row.classification {
+                if let Some(slot) = MIX_CLASSES.iter().position(|&c| c == classification) {
                     self.mix[slot] += 1;
                 }
             }
@@ -107,6 +109,60 @@ impl CumulativeState {
     }
 }
 
+/// Incrementally builds the deterministic virtual-clock time series from
+/// a stream of domain groups — the streamed campaign path's counterpart
+/// of [`build_timeseries`], producing byte-identical output.
+///
+/// The offer protocol must match the batch builder exactly: every group
+/// but the last is a lazy [`TimeSeries::push_with`] offer, and the final
+/// group lands unconditionally via [`TimeSeries::push_final`] so the
+/// series ends on the campaign's complete cumulative state. Since a
+/// stream does not know which group is last, the builder holds each
+/// absorbed group's sample back by one: a group's offer happens when the
+/// *next* group arrives, and [`TimeSeriesBuilder::finish`] turns the
+/// still-held sample into the final point.
+pub struct TimeSeriesBuilder {
+    series: TimeSeries,
+    state: CumulativeState,
+    held: bool,
+}
+
+impl TimeSeriesBuilder {
+    /// A builder downsampling into a ring of `capacity` points.
+    pub fn new(capacity: usize) -> Self {
+        TimeSeriesBuilder {
+            series: TimeSeries::new(capacity),
+            state: CumulativeState::default(),
+            held: false,
+        }
+    }
+
+    /// Absorbs one domain's rows (all its redirect hops).
+    pub fn push_group(&mut self, rows: impl Iterator<Item = RecordRow>) {
+        if self.held {
+            let (series, state) = (&mut self.series, &self.state);
+            series.push_with(|| state.point());
+        }
+        self.state.absorb_group(rows);
+        self.held = true;
+    }
+
+    /// Absorbs every domain group of a columnar batch, in order.
+    pub fn push_batch(&mut self, batch: &RecordBatch) {
+        for group in batch.groups() {
+            self.push_group(group);
+        }
+    }
+
+    /// Lands the held final sample and assembles the document.
+    pub fn finish(mut self, campaign_id: String) -> TimeSeriesDoc {
+        if self.held {
+            self.series.push_final(self.state.point());
+        }
+        self.series.into_doc(campaign_id, SeriesClock::Virtual)
+    }
+}
+
 /// Builds the deterministic virtual-clock time series of a campaign: one
 /// sample offered per probed domain (in record order), downsampled into a
 /// ring of `capacity` points. The result depends only on the records, so
@@ -118,8 +174,7 @@ pub fn build_timeseries(
     config: &CampaignConfig,
     capacity: usize,
 ) -> TimeSeriesDoc {
-    let mut series = TimeSeries::new(capacity);
-    let mut state = CumulativeState::default();
+    let mut builder = TimeSeriesBuilder::new(capacity);
     let records = &campaign.records;
     let mut start = 0usize;
     while start < records.len() {
@@ -128,19 +183,10 @@ pub fn build_timeseries(
         while end < records.len() && records[end].domain_id == domain_id {
             end += 1;
         }
-        state.absorb_domain(&records[start..end]);
-        if end == records.len() {
-            // The last sample always lands so the series ends on the
-            // campaign's complete cumulative state.
-            series.push_final(state.point());
-        } else {
-            // Lazy offer: the quantile computation in `point()` only
-            // happens for samples the stride actually admits.
-            series.push_with(|| state.point());
-        }
+        builder.push_group(records[start..end].iter().map(RecordRow::of));
         start = end;
     }
-    series.into_doc(config.campaign_id(), SeriesClock::Virtual)
+    builder.finish(config.campaign_id())
 }
 
 /// Renders a flight recording as Chrome trace events: every retained
@@ -248,6 +294,31 @@ mod tests {
             .collect();
         assert_eq!(docs[0], docs[1]);
         assert_eq!(docs[1], docs[2]);
+    }
+
+    #[test]
+    fn streamed_builder_is_byte_identical_to_batch_build() {
+        let pop = pop();
+        let reference = {
+            let cfg = config();
+            let campaign = Scanner::new(&pop).run_campaign(&cfg);
+            serde_json::to_string_pretty(&build_timeseries(&campaign, &cfg, 64)).unwrap()
+        };
+        for threads in [1usize, 4] {
+            let cfg = CampaignConfig {
+                threads,
+                ..config()
+            };
+            let mut builder = TimeSeriesBuilder::new(64);
+            Scanner::new(&pop)
+                .run_campaign_streamed(&cfg, 24 * 1024, |batch| builder.push_batch(batch));
+            let doc = builder.finish(cfg.campaign_id());
+            assert_eq!(
+                serde_json::to_string_pretty(&doc).unwrap(),
+                reference,
+                "streamed series diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

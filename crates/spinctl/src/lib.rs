@@ -35,10 +35,10 @@ use quicspin_core::reorder::ReorderComparison;
 use quicspin_core::{ObserverConfig, PacketObservation};
 use quicspin_qlog::render_timeline;
 use quicspin_scanner::{
-    build_timeseries, chrome_trace_export, read_anomaly_index, read_flagged_trace,
-    read_run_manifest, read_timeseries, write_chrome_trace, write_flight_recording,
-    write_run_manifest, write_timeseries, AnomalyIndex, AnomalyKind, CampaignConfig, FlightConfig,
-    ProbeId, RunManifest, Scanner, TimeSeriesDoc,
+    chrome_trace_export, read_anomaly_index, read_flagged_trace, read_run_manifest,
+    read_timeseries, write_chrome_trace, write_flight_recording, write_run_manifest,
+    write_timeseries, AnomalyIndex, AnomalyKind, CampaignConfig, FlightConfig, ProbeId,
+    RunManifest, Scanner, TimeSeriesBuilder, TimeSeriesDoc,
 };
 use quicspin_telemetry::DEFAULT_TIMESERIES_CAPACITY;
 use quicspin_webpop::{Population, PopulationConfig};
@@ -71,7 +71,8 @@ spinctl — QUIC spin-bit campaign flight recorder
 
 USAGE:
     spinctl run       [--dir DIR] [--domains N] [--seed S] [--threads T]
-                      [--budget-bytes B] [--sample-every K] [--loss P]
+                      [--budget-bytes B] [--record-budget B] [--sample-every K]
+                      [--loss P]
     spinctl summary   [--dir DIR]
     spinctl anomalies [--dir DIR] [--kind KIND] [--limit N]
     spinctl trace     (<probe-id> | --first) [--dir DIR]
@@ -79,9 +80,12 @@ USAGE:
     spinctl compare   --bench <a.json> <b.json> [--bench-band X]
     spinctl trend     <dir> [<dir> ...]
 
-`run` sweeps a synthetic population with the flight recorder armed and
-writes metrics.json, anomalies.json, traces.bin, timeseries.json, and
-trace.json (Chrome trace-event form; load in Perfetto) into DIR.
+`run` sweeps a synthetic population over the streamed, bounded-memory
+campaign path (worker record batches fold straight into the artifacts;
+--record-budget caps resident record bytes, 0 = unbounded) with the
+flight recorder armed, and writes metrics.json, anomalies.json,
+traces.bin, timeseries.json, and trace.json (Chrome trace-event form;
+load in Perfetto) into DIR.
 `compare` diffs two campaign directories — virtual-latency p99s against
 a multiplicative band (default 1.25), error-rate drift, and
 classification-mix drift (default 0.02) — or, with --bench, two
@@ -219,6 +223,7 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "seed",
         "threads",
         "budget-bytes",
+        "record-budget",
         "sample-every",
         "loss",
     ])?;
@@ -233,6 +238,7 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let seed: u64 = args.get_parsed("seed", 23)?;
     let threads: usize = args.get_parsed("threads", 1)?;
     let budget: u64 = args.get_parsed("budget-bytes", 2 << 20)?;
+    let record_budget: usize = args.get_parsed("record-budget", 1 << 20)?;
     let sample_every: u64 = args.get_parsed("sample-every", 64)?;
 
     let population = Population::generate(PopulationConfig {
@@ -256,13 +262,23 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         ));
     }
     // The progress sink must be Send, so collect the monitor lines and
-    // replay them onto `out` once the sweep has joined.
+    // replay them onto `out` once the sweep has joined. The batch sink
+    // runs on this thread: record batches fold into the time series (and
+    // a row count) the moment workers publish them — no record vector.
     let mut progress: Vec<String> = Vec::new();
+    let mut builder = TimeSeriesBuilder::new(DEFAULT_TIMESERIES_CAPACITY);
+    let mut rows: u64 = 0;
     let scanner = Scanner::new(&population);
-    let (campaign, recording, manifest) =
-        scanner.run_campaign_flight_with_progress(&config, Duration::from_secs(2), |line| {
-            progress.push(line.to_string())
-        });
+    let (recording, manifest) = scanner.run_campaign_streamed_flight_with_progress(
+        &config,
+        record_budget,
+        Duration::from_secs(2),
+        |line| progress.push(line.to_string()),
+        |batch| {
+            rows += batch.len() as u64;
+            builder.push_batch(batch);
+        },
+    );
     let mut w = |s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
     for line in &progress {
         w(line.clone())?;
@@ -271,7 +287,7 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "campaign {}: {} domains, {} records, {} anomalies on {} probes",
         recording.campaign_id(),
         population.len(),
-        campaign.records.len(),
+        rows,
         recording.anomalies().len(),
         recording.flagged_traces(),
     ))?;
@@ -282,10 +298,15 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         budget,
         recording.evicted_traces(),
     ))?;
+    w(format!(
+        "peak resident record bytes {} (budget {}, 0 = unbounded)",
+        manifest.counter("peak_record_bytes"),
+        record_budget,
+    ))?;
     let manifest_path = write_run_manifest(&dir, &manifest).map_err(|e| e.to_string())?;
     let (index_path, store_path) =
         write_flight_recording(&dir, &recording).map_err(|e| e.to_string())?;
-    let series = build_timeseries(&campaign, &config, DEFAULT_TIMESERIES_CAPACITY);
+    let series = builder.finish(config.campaign_id());
     let series_path = write_timeseries(&dir, &series).map_err(|e| e.to_string())?;
     let events = chrome_trace_export(&recording);
     let trace_path = write_chrome_trace(&dir, &events).map_err(|e| e.to_string())?;
@@ -386,6 +407,38 @@ fn cmd_summary(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             );
         }
     }
+
+    let _ = writeln!(text, "\nresource gauges (from metrics.json):");
+    let budget = manifest.counter("record_budget_bytes");
+    let _ = writeln!(
+        text,
+        "  {:<28} {:>14}  (streamed-path high water)",
+        "peak_record_bytes",
+        manifest.counter("peak_record_bytes"),
+    );
+    let _ = writeln!(
+        text,
+        "  {:<28} {:>14}  ({})",
+        "record_budget_bytes",
+        budget,
+        if budget == 0 {
+            "unbounded"
+        } else {
+            "resident-byte cap"
+        },
+    );
+    let _ = writeln!(
+        text,
+        "  {:<28} {:>14}  (pending batches awaiting merge)",
+        "event_queue_depth",
+        manifest.counter("event_queue_depth"),
+    );
+    let _ = writeln!(
+        text,
+        "  {:<28} {:>14}  (netsim timing-wheel high water)",
+        "netsim_queue_high_water",
+        manifest.counter("netsim_queue_high_water"),
+    );
 
     let _ = writeln!(text, "\n{}", manifest.summary_table());
     write!(out, "{text}").map_err(|e| e.to_string())
@@ -1032,6 +1085,56 @@ mod tests {
         assert_eq!(by_id, traced);
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_run_artifacts_are_thread_count_invariant() {
+        let base = temp_dir("streamed");
+        let _ = std::fs::remove_dir_all(&base);
+        let dir_a = base.join("t1");
+        let dir_b = base.join("t4");
+        for (dir, threads) in [(&dir_a, "1"), (&dir_b, "4")] {
+            run_str(&[
+                "run",
+                "--dir",
+                dir.to_str().unwrap(),
+                "--domains",
+                "200",
+                "--seed",
+                "9",
+                "--threads",
+                threads,
+                "--record-budget",
+                "16384",
+            ])
+            .unwrap();
+        }
+        let read = |dir: &Path, name: &str| std::fs::read(dir.join(name)).unwrap();
+        for artifact in [
+            "timeseries.json",
+            "anomalies.json",
+            "traces.bin",
+            "trace.json",
+        ] {
+            assert_eq!(
+                read(&dir_a, artifact),
+                read(&dir_b, artifact),
+                "{artifact} must be byte-identical across worker counts"
+            );
+        }
+        let view = |dir: &Path| {
+            let m = read_run_manifest(dir).unwrap().deterministic_view();
+            serde_json::to_string_pretty(&m).unwrap()
+        };
+        assert_eq!(view(&dir_a), view(&dir_b));
+
+        let summary = run_str(&["summary", "--dir", dir_a.to_str().unwrap()]).unwrap();
+        assert!(summary.contains("resource gauges"), "out: {summary}");
+        assert!(summary.contains("peak_record_bytes"), "out: {summary}");
+        assert!(summary.contains("event_queue_depth"), "out: {summary}");
+        assert!(summary.contains("record_budget_bytes"), "out: {summary}");
+
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -86,6 +86,53 @@ impl RunManifest {
         self.stages.iter().find(|s| s.stage == name)
     }
 
+    /// The manifest restricted to entries that are a pure function of
+    /// (population, campaign config, id range) — the projection two runs
+    /// of the same sweep must agree on byte-for-byte, regardless of
+    /// worker count, scheduling, or machine speed.
+    ///
+    /// Dropped: wall time and every stage summary (wall clock), the
+    /// `threads` config echo, and the counters/gauges that reflect
+    /// execution shape rather than results (`scratch_reuse_hits` and
+    /// `workers_finished` depend on which workers win the claim race;
+    /// `worker_threads`, `peak_record_bytes`, `event_queue_depth` and
+    /// `record_budget_bytes` describe the machine-side memory envelope).
+    /// The byte-identity tests for the streamed campaign path compare
+    /// this view, mirroring how the flight-recorder index drops its
+    /// `threads` entry.
+    pub fn deterministic_view(&self) -> RunManifest {
+        const TIMING_COUNTERS: &[&str] = &["scratch_reuse_hits", "workers_finished"];
+        const MACHINE_GAUGES: &[&str] = &[
+            "worker_threads",
+            "peak_record_bytes",
+            "event_queue_depth",
+            "record_budget_bytes",
+        ];
+        RunManifest {
+            schema_version: self.schema_version,
+            config: self
+                .config
+                .iter()
+                .filter(|e| e.key != "threads")
+                .cloned()
+                .collect(),
+            wall_time_ns: 0,
+            counters: self
+                .counters
+                .iter()
+                .filter(|c| !TIMING_COUNTERS.contains(&c.name.as_str()))
+                .cloned()
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|g| !MACHINE_GAUGES.contains(&g.name.as_str()))
+                .cloned()
+                .collect(),
+            stages: Vec::new(),
+        }
+    }
+
     /// Renders the manifest as a fixed-width summary table.
     pub fn summary_table(&self) -> String {
         let mut out = String::new();
@@ -280,6 +327,38 @@ mod tests {
         assert!(table.contains("probes_completed"));
         assert!(table.contains("threads"));
         assert!(table.contains("2.50s"));
+    }
+
+    #[test]
+    fn deterministic_view_drops_wall_clock_and_machine_shape() {
+        let mut m = sample_manifest();
+        m.counters.push(CounterSnapshot {
+            name: "scratch_reuse_hits".into(),
+            value: 96,
+        });
+        m.gauges.push(CounterSnapshot {
+            name: "peak_record_bytes".into(),
+            value: 1 << 20,
+        });
+        m.gauges.push(CounterSnapshot {
+            name: "netsim_queue_high_water".into(),
+            value: 12,
+        });
+        let view = m.deterministic_view();
+        assert_eq!(view.wall_time_ns, 0);
+        assert!(view.stages.is_empty());
+        assert!(view.config.iter().all(|e| e.key != "threads"));
+        assert_eq!(view.counter("probes_completed"), 100);
+        assert_eq!(view.counter("scratch_reuse_hits"), 0);
+        assert_eq!(view.counter("worker_threads"), 0);
+        assert_eq!(view.counter("peak_record_bytes"), 0);
+        // Virtual-clock gauges are results, not machine shape: kept.
+        assert_eq!(view.counter("netsim_queue_high_water"), 12);
+        // The view is itself a valid manifest and stable under repetition.
+        assert_eq!(
+            serde_json::to_string(&view).unwrap(),
+            serde_json::to_string(&m.deterministic_view()).unwrap()
+        );
     }
 
     #[test]

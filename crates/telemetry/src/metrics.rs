@@ -175,6 +175,16 @@ metric_enum! {
         CampaignSize => "campaign_size",
         /// Worker threads the campaign ran with.
         WorkerThreads => "worker_threads",
+        /// High-water mark of resident columnar record bytes on the
+        /// streamed campaign path (finished batches awaiting merge plus
+        /// the batch being folded).
+        PeakRecordBytes => "peak_record_bytes",
+        /// High-water count of finished record batches queued between the
+        /// workers and the in-order merge on the streamed campaign path.
+        EventQueueDepth => "event_queue_depth",
+        /// Configured high-water byte budget of the streamed campaign
+        /// path (0 = unbounded).
+        RecordBudgetBytes => "record_budget_bytes",
     }
 }
 

@@ -31,10 +31,12 @@ pub mod domain;
 pub mod lists;
 pub mod org;
 pub mod population;
+pub mod symbols;
 
 pub use config::PopulationConfig;
 pub use delay::{RttProfile, ServiceClass};
 pub use domain::{DomainRecord, HostAddr, IpVersion, ListKind};
 pub use lists::{ZoneRegistry, DEDUPLICATED_TOPLIST_SIZE, TOPLIST_SOURCES, ZONE_COUNT};
 pub use org::{Org, OrgProfile, WebServer, ALL_ORGS, ORG_PROFILES};
-pub use population::{ConnectionPlan, Population};
+pub use population::{ConnectionPlan, HostGroup, HostRollup, Population};
+pub use symbols::SymbolTable;

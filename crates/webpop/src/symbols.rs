@@ -1,0 +1,201 @@
+//! Per-campaign symbol tables: interned domain-name strings.
+//!
+//! [`DomainRecord::name`]/[`DomainRecord::www_name`] format a fresh
+//! `String` on every call. That is fine for one-off lookups, but render
+//! paths (report titles, request URLs, rendered tables) resolve the same
+//! names over and over — at million-domain scale those allocations
+//! dominate. A [`SymbolTable`] interns each name once per campaign
+//! (lazily, on first touch) and hands out `&str` views after that, so
+//! records can carry the compact `u32` domain id and resolve it to a
+//! string only at render time.
+//!
+//! Org and web-server "strings" are already interned by construction —
+//! both are fieldless enums whose display forms are `&'static str`s —
+//! so the table just forwards to them ([`SymbolTable::org_label`],
+//! [`SymbolTable::webserver_label`]); they cost nothing to resolve.
+
+use crate::domain::{DomainRecord, ListKind};
+use crate::org::{Org, WebServer};
+
+/// Lazily interned domain / www names for one campaign, keyed by domain
+/// id. Build one per campaign (or per render pass) and share it across
+/// everything that turns record ids back into strings.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// `name()` per domain id, interned on first resolution.
+    names: Vec<Option<Box<str>>>,
+    /// `www_name()` per domain id, interned on first resolution.
+    www: Vec<Option<Box<str>>>,
+    /// TLD per zone id, shared by every domain in the zone.
+    tlds: Vec<Option<Box<str>>>,
+    /// Number of interned entries across both name columns.
+    interned: usize,
+}
+
+impl SymbolTable {
+    /// An empty table; columns grow on demand.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// An empty table with the name columns pre-sized for `domains` ids
+    /// (avoids growth reallocations on dense campaigns).
+    pub fn with_capacity(domains: usize) -> Self {
+        SymbolTable {
+            names: Vec::with_capacity(domains),
+            www: Vec::with_capacity(domains),
+            tlds: Vec::new(),
+            interned: 0,
+        }
+    }
+
+    fn ensure_domain(&mut self, id: usize) {
+        if self.names.len() <= id {
+            self.names.resize(id + 1, None);
+            self.www.resize(id + 1, None);
+        }
+    }
+
+    /// The interned TLD for `domain`, resolving through
+    /// [`crate::lists::tld_for_index`] exactly once per zone.
+    fn tld(&mut self, domain: &DomainRecord) -> &str {
+        let zone = match domain.list {
+            ListKind::Toplist => 0usize,
+            _ => usize::from(domain.zone_id),
+        };
+        if self.tlds.len() <= zone {
+            self.tlds.resize(zone + 1, None);
+        }
+        if self.tlds[zone].is_none() {
+            let tld = match domain.list {
+                ListKind::Toplist => "com".to_string(),
+                _ => crate::lists::tld_for_index(domain.zone_id),
+            };
+            self.tlds[zone] = Some(tld.into_boxed_str());
+        }
+        self.tlds[zone].as_deref().unwrap()
+    }
+
+    /// The domain's name, interned on first call (same string
+    /// [`DomainRecord::name`] would format).
+    pub fn name(&mut self, domain: &DomainRecord) -> &str {
+        let id = domain.id as usize;
+        self.ensure_domain(id);
+        if self.names[id].is_none() {
+            let name = {
+                let tld = self.tld(domain);
+                format!("domain-{}.{}", domain.id, tld)
+            };
+            self.names[id] = Some(name.into_boxed_str());
+            self.interned += 1;
+        }
+        self.names[id].as_deref().unwrap()
+    }
+
+    /// The "www." query target, interned on first call (same string
+    /// [`DomainRecord::www_name`] would format).
+    pub fn www_name(&mut self, domain: &DomainRecord) -> &str {
+        let id = domain.id as usize;
+        self.ensure_domain(id);
+        if self.www[id].is_none() {
+            let www = format!("www.{}", self.name(domain));
+            self.www[id] = Some(www.into_boxed_str());
+            self.interned += 1;
+        }
+        self.www[id].as_deref().unwrap()
+    }
+
+    /// Render-time label for an org — already a static symbol.
+    pub fn org_label(org: Org) -> &'static str {
+        org.name()
+    }
+
+    /// Render-time label for a web server — already a static symbol.
+    pub fn webserver_label(server: WebServer) -> &'static str {
+        server.header_value()
+    }
+
+    /// Number of name strings interned so far.
+    pub fn interned(&self) -> usize {
+        self.interned
+    }
+
+    /// Approximate resident bytes: interned string payloads plus the
+    /// id-indexed columns.
+    pub fn approx_bytes(&self) -> usize {
+        let slot = std::mem::size_of::<Option<Box<str>>>();
+        let payload: usize = self
+            .names
+            .iter()
+            .chain(self.www.iter())
+            .chain(self.tlds.iter())
+            .flatten()
+            .map(|s| s.len())
+            .sum();
+        payload + (self.names.capacity() + self.www.capacity() + self.tlds.capacity()) * slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u32, list: ListKind, zone_id: u16) -> DomainRecord {
+        DomainRecord {
+            id,
+            list,
+            zone_id,
+            toplist_sources: 0,
+            org: Org::Other,
+            resolved_v4: true,
+            resolved_v6: false,
+            quic: false,
+            ipv4: None,
+            ipv6: None,
+            webserver: WebServer::OtherServer,
+            host_spin: false,
+            service_class: 0,
+            rtt_ms: 40.0,
+            redirects: false,
+            page_bytes: 30_000,
+        }
+    }
+
+    #[test]
+    fn interned_names_match_record_formatting() {
+        let mut table = SymbolTable::new();
+        for (id, list, zone) in [
+            (0, ListKind::Toplist, 0),
+            (7, ListKind::ZoneComNetOrg, 2),
+            (9, ListKind::ZoneOther, 3),
+        ] {
+            let d = record(id, list, zone);
+            assert_eq!(table.name(&d), d.name());
+            assert_eq!(table.www_name(&d), d.www_name());
+        }
+    }
+
+    #[test]
+    fn repeat_lookups_do_not_reintern() {
+        let mut table = SymbolTable::with_capacity(16);
+        let d = record(3, ListKind::ZoneOther, 5);
+        let first = table.www_name(&d).to_owned();
+        // www interns the bare name too: two entries for one domain.
+        assert_eq!(table.interned(), 2);
+        for _ in 0..10 {
+            assert_eq!(table.www_name(&d), first);
+            assert_eq!(table.name(&d), &first["www.".len()..]);
+        }
+        assert_eq!(table.interned(), 2);
+        assert!(table.approx_bytes() > first.len());
+    }
+
+    #[test]
+    fn static_labels_pass_through() {
+        assert_eq!(SymbolTable::org_label(Org::Cloudflare), "Cloudflare");
+        assert_eq!(
+            SymbolTable::webserver_label(WebServer::Caddy),
+            WebServer::Caddy.header_value()
+        );
+    }
+}

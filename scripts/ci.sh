@@ -1,7 +1,17 @@
 #!/usr/bin/env bash
 # Repo CI gate: formatting, lints, build, tests.
+#
+# `--scale` additionally runs the zone-scale smoke: the event-queue
+# scheduler microbenchmark gated against the committed baseline
+# (BENCH_EVENT_QUEUE.json), and a 100k-domain streamed sweep that must
+# stay inside its resident-record-byte budget.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+SCALE=0
+if [ "${1:-}" = "--scale" ]; then
+  SCALE=1
+fi
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
@@ -43,3 +53,32 @@ if cargo run --release -p quicspin-spinctl --bin spinctl -- \
 fi
 cargo run --release -p quicspin-spinctl --bin spinctl -- \
   trend "$SPINCTL_DIR/a" "$SPINCTL_DIR/b" "$SPINCTL_DIR/c"
+
+if [ "$SCALE" = 1 ]; then
+  # Scheduler gate: re-time the event-queue microbench (capped at 10^6
+  # events to keep the gate short; the committed baseline covers 10^7
+  # too) and compare means against the baseline. The band is wide to
+  # absorb machine-to-machine variance — it exists to catch the wheel
+  # degenerating back to heap-like scaling, not single-digit drift.
+  EVENT_QUEUE_MAX_N=1000000 BENCH_JSON="$SPINCTL_DIR/event_queue.json" \
+    cargo bench -p quicspin-bench --bench event_queue
+  cargo run --release -p quicspin-spinctl --bin spinctl -- \
+    compare --bench BENCH_EVENT_QUEUE.json "$SPINCTL_DIR/event_queue.json" \
+    --bench-band 3.0
+
+  # Zone-scale streamed sweep: 100k domains under a 32 MiB resident
+  # record budget. The peak gauge must be nonzero (streamed path
+  # actually ran) and within budget.
+  BUDGET=$((32 * 1024 * 1024))
+  cargo run --release -p quicspin-spinctl --bin spinctl -- \
+    run --dir "$SPINCTL_DIR/scale" --domains 100000 --seed 11 \
+    --sample-every 64 --record-budget "$BUDGET"
+  PEAK=$(cargo run --release -q -p quicspin-spinctl --bin spinctl -- \
+    summary --dir "$SPINCTL_DIR/scale" \
+    | awk '$1 == "peak_record_bytes" { print $2; exit }')
+  echo "scale sweep: peak_record_bytes=$PEAK budget=$BUDGET"
+  if [ -z "$PEAK" ] || [ "$PEAK" -le 0 ] || [ "$PEAK" -gt "$BUDGET" ]; then
+    echo "ERROR: streamed sweep peak_record_bytes=${PEAK:-unset} outside (0, $BUDGET]" >&2
+    exit 1
+  fi
+fi
