@@ -12,6 +12,7 @@
 //! | [`fig3`] | Fig. 3 — absolute accuracy histogram |
 //! | [`fig4`] | Fig. 4 — mapped-ratio accuracy histogram |
 //! | [`reordering`] | §5.2 — received-order vs. sorted-order impact |
+//! | [`vantage`] | on-path observer accuracy across tap positions and path conditions |
 //! | [`webserver`] | §4.2 — web-server attribution of spin support |
 //! | [`render`] | ASCII tables / bar charts and CSV export |
 //! | [`parallel`] | [`Dataset`] — every artefact at once, optionally sharded |
@@ -29,6 +30,7 @@ pub mod reordering;
 pub mod spin_config;
 pub mod stats;
 pub mod streaming;
+pub mod vantage;
 pub mod webserver;
 
 pub use dataset::{CampaignSummary, DomainClass};
@@ -43,6 +45,7 @@ pub use reordering::ReorderingImpact;
 pub use spin_config::SpinConfigTable;
 pub use stats::Summary;
 pub use streaming::{aggregate_campaign, CampaignAggregates};
+pub use vantage::{VantageCell, VantageFigure};
 pub use webserver::WebServerShares;
 
 /// Bundled accuracy figures (Figs. 3 + 4 + §5.2) from one dataset.

@@ -97,6 +97,19 @@ fn telemetry_overhead(c: &mut Criterion) {
     group.bench_function("campaign_flight_recorder", |b| {
         b.iter(|| scanner.run_campaign_flight(std::hint::black_box(&flight)))
     });
+    // On-path observer armed on top of the instrumented campaign: every
+    // probe's tap capture is narrowed through the privacy boundary and
+    // folded into a per-flow view. The tap itself is passive, so the gap
+    // to `campaign_instrumented` is the observer-fold tax the issue caps
+    // at ~2%.
+    let tapped = CampaignConfig {
+        telemetry: Arc::new(Registry::new()),
+        tap: Some(0.5),
+        ..clean_config(4)
+    };
+    group.bench_function("campaign_observer", |b| {
+        b.iter(|| scanner.run_campaign(std::hint::black_box(&tapped)))
+    });
     // Post-hoc time-series build (PR 4): replay the merged record stream
     // into the bounded deterministic ring. Runs once per campaign after
     // the sweep joins, so its cost is off the probe hot path entirely;

@@ -9,6 +9,14 @@
 //! prefix (0 = client→server, 1 = server→client) followed by the raw
 //! datagram — the simulator has no Ethernet/IP framing, and inventing
 //! fake headers would only obscure the payload under test.
+//!
+//! The tap's vantage position (where on the path the capture was taken)
+//! rides in the global header's `sigfigs` field, which every real-world
+//! writer leaves at 0: [`write_pcap_at`] stores the position in
+//! millionths of the path **plus one**, so 0 still means "unset" and a
+//! capture taken at the client edge (position 0.0) stays distinguishable.
+//! Standard tools ignore the field; [`read_pcap_with_vantage`] recovers
+//! it.
 
 use crate::sim::{Side, TapRecord};
 use crate::time::SimTime;
@@ -30,15 +38,26 @@ fn push_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Serializes tap records into a pcap byte stream.
+/// Serializes tap records into a pcap byte stream (vantage unset).
 pub fn write_pcap(records: &[TapRecord]) -> Vec<u8> {
+    write_pcap_at(records, None)
+}
+
+/// [`write_pcap`], recording where on the path the tap sat. `Some(p)`
+/// stores `p` (clamped to `0.0..=1.0`) in the header's `sigfigs` field as
+/// millionths + 1; `None` writes a plain capture with the field at 0.
+pub fn write_pcap_at(records: &[TapRecord], vantage: Option<f64>) -> Vec<u8> {
+    let sigfigs = match vantage {
+        Some(p) => (p.clamp(0.0, 1.0) * 1_000_000.0).round() as u32 + 1,
+        None => 0,
+    };
     let mut out = Vec::with_capacity(24 + records.len() * 32);
     // Global header.
     push_u32(&mut out, PCAP_MAGIC);
     push_u16(&mut out, 2); // version major
     push_u16(&mut out, 4); // version minor
     push_u32(&mut out, 0); // thiszone
-    push_u32(&mut out, 0); // sigfigs
+    push_u32(&mut out, sigfigs); // vantage (millionths + 1), 0 = unset
     push_u32(&mut out, 65_535); // snaplen
     push_u32(&mut out, LINKTYPE_USER0);
     for record in records {
@@ -91,9 +110,20 @@ fn read_u32(buf: &[u8], at: usize) -> Option<u32> {
 /// Parses a pcap byte stream produced by [`write_pcap`] back into tap
 /// records.
 pub fn read_pcap(bytes: &[u8]) -> Result<Vec<TapRecord>, PcapError> {
+    read_pcap_with_vantage(bytes).map(|(records, _)| records)
+}
+
+/// [`read_pcap`], additionally recovering the tap's vantage position from
+/// the header (see [`write_pcap_at`]); `None` when the capture carries no
+/// position (plain [`write_pcap`] output, or a foreign pcap).
+pub fn read_pcap_with_vantage(bytes: &[u8]) -> Result<(Vec<TapRecord>, Option<f64>), PcapError> {
     if bytes.len() < 24 || read_u32(bytes, 0) != Some(PCAP_MAGIC) {
         return Err(PcapError::BadHeader);
     }
+    let vantage = match read_u32(bytes, 12).ok_or(PcapError::BadHeader)? {
+        0 => None,
+        encoded => Some(f64::from(encoded - 1) / 1_000_000.0),
+    };
     let linktype = read_u32(bytes, 20).ok_or(PcapError::BadHeader)?;
     if linktype != LINKTYPE_USER0 {
         return Err(PcapError::WrongLinkType(linktype));
@@ -118,7 +148,7 @@ pub fn read_pcap(bytes: &[u8]) -> Result<Vec<TapRecord>, PcapError> {
             datagram: datagram.into(),
         });
     }
-    Ok(records)
+    Ok((records, vantage))
 }
 
 #[cfg(test)]
@@ -153,6 +183,33 @@ mod tests {
         assert_eq!(bytes.len(), 24);
         assert_eq!(&bytes[..4], &0xa1b2_c3d4u32.to_le_bytes());
         assert_eq!(read_pcap(&bytes).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn vantage_round_trips_through_the_header() {
+        let records = vec![record(1, Side::Client, &[0x40, 1])];
+        // A plain capture carries no vantage.
+        let (back, vantage) = read_pcap_with_vantage(&write_pcap(&records)).unwrap();
+        assert_eq!(back, records);
+        assert_eq!(vantage, None);
+        assert_eq!(
+            read_pcap_with_vantage(&write_pcap_at(&records, None))
+                .unwrap()
+                .1,
+            None
+        );
+        // Position 0.0 (client edge) is distinct from "unset".
+        for position in [0.0, 0.25, 0.5, 1.0] {
+            let bytes = write_pcap_at(&records, Some(position));
+            let (back, vantage) = read_pcap_with_vantage(&bytes).unwrap();
+            assert_eq!(back, records);
+            assert_eq!(vantage, Some(position), "position {position}");
+            // Plain readers still parse the capture and ignore the field.
+            assert_eq!(read_pcap(&bytes).unwrap(), records);
+        }
+        // Out-of-range positions clamp to the path.
+        let bytes = write_pcap_at(&records, Some(7.5));
+        assert_eq!(read_pcap_with_vantage(&bytes).unwrap().1, Some(1.0));
     }
 
     #[test]

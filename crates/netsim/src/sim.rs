@@ -122,6 +122,18 @@ pub struct SimScratch {
     tap_records: Vec<TapRecord>,
 }
 
+impl SimScratch {
+    /// Returns a tap-record buffer that was taken *out* of a finished run
+    /// (via [`Simulator::take_tap_records`]) so the next run reuses its
+    /// allocation. The records themselves are discarded.
+    pub fn restock_tap_records(&mut self, mut records: Vec<TapRecord>) {
+        records.clear();
+        if records.capacity() > self.tap_records.capacity() {
+            self.tap_records = records;
+        }
+    }
+}
+
 /// Discrete-event simulator for one client↔server path.
 ///
 /// The driving code (e.g. `quicspin-quic`'s `ConnectionLab` or the

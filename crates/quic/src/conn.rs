@@ -194,6 +194,13 @@ pub struct Connection {
     /// Recycled datagram buffers for outgoing packets (fed back via
     /// [`Connection::recycle_datagram`]).
     datagram_pool: Vec<Vec<u8>>,
+    /// How many buffers at the bottom of `datagram_pool` were seeded by
+    /// [`Connection::prestock_datagram`] rather than recycled from this
+    /// connection's own deliveries. Pops served from that stock are not
+    /// pool *hits* — the hit/miss counters track in-run recycling only,
+    /// which keeps them independent of cross-run driver state (and so
+    /// byte-identical in thread-count-invariant campaign manifests).
+    prestocked: usize,
     /// Congestion window in packets (NewReno-style slow start +
     /// congestion avoidance). Gates fresh 1-RTT stream data.
     cwnd: u64,
@@ -233,6 +240,7 @@ impl Connection {
             error: None,
             last_send_latency: SimDuration::ZERO,
             datagram_pool: Vec::new(),
+            prestocked: 0,
             cwnd: cfg.initial_cwnd_packets,
             ssthresh: u64::MAX,
             ca_credit: 0,
@@ -274,6 +282,7 @@ impl Connection {
             error: None,
             last_send_latency: SimDuration::ZERO,
             datagram_pool: Vec::new(),
+            prestocked: 0,
             cwnd: cfg.initial_cwnd_packets,
             ssthresh: u64::MAX,
             ca_credit: 0,
@@ -322,8 +331,24 @@ impl Connection {
     /// [`Connection::poll_transmit`] calls. Drivers that unwrap delivered
     /// payloads can keep the packet path allocation-free in steady state.
     pub fn recycle_datagram(&mut self, buf: Vec<u8>) {
-        if self.datagram_pool.len() < 8 {
+        // Large enough that a tapped lab run's pre-stocked buffers (see
+        // `LabScratch`) cover a whole flow's sends; an untapped driver's
+        // delivery ping-pong keeps the pool at one or two entries anyway.
+        if self.datagram_pool.len() < 64 {
             self.datagram_pool.push(buf);
+        }
+    }
+
+    /// Seeds the datagram pool with a buffer from *outside* this
+    /// connection's own delivery loop (e.g. a previous run's tap
+    /// capture). Unlike [`Connection::recycle_datagram`] reuse, sends
+    /// served from this stock count as pool misses: the hit counter
+    /// tracks in-run recycling only, so campaign manifests stay
+    /// independent of which worker ran the previous probe.
+    pub fn prestock_datagram(&mut self, buf: Vec<u8>) {
+        if self.datagram_pool.len() < 64 {
+            self.datagram_pool.push(buf);
+            self.prestocked = self.prestocked.max(self.datagram_pool.len());
         }
     }
 
@@ -789,7 +814,15 @@ impl Connection {
         };
         let buf = match self.datagram_pool.pop() {
             Some(buf) => {
-                self.counters.datagram_pool_hits += 1;
+                if self.datagram_pool.len() < self.prestocked {
+                    // Dipped into the pre-stocked region: reuse, but not
+                    // of this run's own recycling — counted as a miss so
+                    // the counters stay driver-state independent.
+                    self.prestocked = self.datagram_pool.len();
+                    self.counters.datagram_pool_misses += 1;
+                } else {
+                    self.counters.datagram_pool_hits += 1;
+                }
                 buf
             }
             None => {
@@ -1038,6 +1071,30 @@ mod tests {
         server.handle_datagram(at(2), &d);
         server.handle_datagram(at(2), &d);
         assert_eq!(server.counters().packets_duplicate, 1);
+    }
+
+    #[test]
+    fn prestocked_buffers_are_reused_but_never_counted_as_hits() {
+        let (mut client, mut server) = pair();
+        pump(&mut client, &mut server, at(0));
+        let base = client.counters();
+        client.prestock_datagram(Vec::with_capacity(1500));
+        client.send_stream(0, b"ping", true);
+        pump(&mut client, &mut server, at(5));
+        let after = client.counters();
+        assert_eq!(
+            after.datagram_pool_hits, base.datagram_pool_hits,
+            "pre-stock reuse must not count as an in-run recycling hit"
+        );
+        assert!(after.datagram_pool_misses > base.datagram_pool_misses);
+        // Once the pre-stock is consumed, genuine recycling counts again.
+        client.recycle_datagram(Vec::with_capacity(1500));
+        client.send_stream(4, b"ping again", true);
+        pump(&mut client, &mut server, at(10));
+        assert_eq!(
+            client.counters().datagram_pool_hits,
+            base.datagram_pool_hits + 1
+        );
     }
 
     #[test]

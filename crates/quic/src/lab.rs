@@ -231,7 +231,16 @@ pub struct LabScratch {
     server_events: Vec<LoggedEvent>,
     response_data: Vec<u8>,
     body: Vec<u8>,
+    /// Datagram buffers harvested from a finished tapped run's capture.
+    /// With a tap armed the capture pins every delivered buffer until the
+    /// run ends, so the mid-run sole-handle recycling in the event loop
+    /// never fires; these pre-stock the next run's connections instead.
+    datagram_pool: Vec<Vec<u8>>,
 }
+
+/// Upper bound on [`LabScratch::datagram_pool`]: two connections' worth
+/// of pre-stock (the per-connection pool caps at 64).
+const SCRATCH_DATAGRAM_POOL_CAP: usize = 128;
 
 impl LabScratch {
     /// Recovers the reusable buffers from a finished outcome. Call once
@@ -242,6 +251,17 @@ impl LabScratch {
         self.response_data = outcome.response_data;
         self.client_events = outcome.client_qlog.events;
         self.server_events = outcome.server_qlog.events;
+        let mut records = outcome.tap_records;
+        for record in records.drain(..) {
+            if self.datagram_pool.len() >= SCRATCH_DATAGRAM_POOL_CAP {
+                break;
+            }
+            // Sole handle by now (deliveries dropped theirs mid-run).
+            if let Some(buf) = record.datagram.into_vec() {
+                self.datagram_pool.push(buf);
+            }
+        }
+        self.sim.restock_tap_records(records);
     }
 
     /// Returns a client qlog event buffer that was taken *out* of an
@@ -306,6 +326,20 @@ impl ConnectionLab {
             Connection::new_server(cfg.server.clone(), cfg.seed.wrapping_mul(2) + 2, sim.now());
         client.reuse_qlog_events(std::mem::take(&mut scratch.client_events));
         server.reuse_qlog_events(std::mem::take(&mut scratch.server_events));
+        // Tapped runs cannot recycle delivered buffers mid-run (the
+        // capture holds a handle until the run ends); hand each endpoint
+        // the buffers harvested from the previous run's capture instead.
+        if cfg.tap_position.is_some() {
+            let mut to_client = false;
+            for buf in scratch.datagram_pool.drain(..) {
+                to_client = !to_client;
+                if to_client {
+                    client.prestock_datagram(buf);
+                } else {
+                    server.prestock_datagram(buf);
+                }
+            }
+        }
 
         // Server app state: request assembly + scheduled response chunks.
         let mut request_done = false;

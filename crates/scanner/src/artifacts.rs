@@ -33,6 +33,9 @@ pub const TIMESERIES_FILE_NAME: &str = "timeseries.json";
 /// File name of the Chrome trace-event export (Perfetto-loadable).
 pub const CHROME_TRACE_FILE_NAME: &str = "trace.json";
 
+/// File name of the on-path observer document (tapped campaigns only).
+pub const OBSERVER_FILE_NAME: &str = "observer.json";
+
 /// Collects every retained qlog trace of a campaign into one qlog file.
 /// Requires the campaign to have run with `keep_qlogs`.
 pub fn export_qlogs(campaign: &Campaign) -> QlogFile {
@@ -146,6 +149,40 @@ pub fn read_timeseries(dir: &Path) -> std::io::Result<TimeSeriesDoc> {
         std::io::Error::new(
             ErrorKind::InvalidData,
             format!("corrupt time series {}: {e}", path.display()),
+        )
+    })
+}
+
+/// Writes an [`ObserverDoc`](crate::observe::ObserverDoc) as
+/// pretty-printed JSON named [`OBSERVER_FILE_NAME`] inside `dir` (created
+/// if missing). The bytes are a pure function of the document, and the
+/// document is built from the thread-count-invariant record stream, so
+/// the file is byte-identical for any `--threads`. Returns the path
+/// written.
+pub fn write_observer(dir: &Path, doc: &crate::observe::ObserverDoc) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(OBSERVER_FILE_NAME);
+    let json = serde_json::to_string_pretty(doc)
+        .map_err(|e| std::io::Error::other(format!("observer doc serialization failed: {e}")))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Reads the [`ObserverDoc`](crate::observe::ObserverDoc) back from
+/// `dir`, with the same descriptive error contract as
+/// [`read_run_manifest`].
+pub fn read_observer(dir: &Path) -> std::io::Result<crate::observe::ObserverDoc> {
+    let path = dir.join(OBSERVER_FILE_NAME);
+    let json = std::fs::read_to_string(&path).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("cannot read observer doc {}: {e}", path.display()),
+        )
+    })?;
+    serde_json::from_str(&json).map_err(|e| {
+        std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("corrupt observer doc {}: {e}", path.display()),
         )
     })
 }

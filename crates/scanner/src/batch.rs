@@ -17,6 +17,7 @@
 //! each domain's records (all redirect hops) arrive as one contiguous
 //! run.
 
+use crate::observe::ObserverView;
 use crate::record::{ConnectionRecord, ScanOutcome};
 use quicspin_core::FlowClassification;
 use quicspin_webpop::{HostAddr, ListKind, Org, WebServer};
@@ -48,6 +49,8 @@ pub struct RecordRow {
     pub virtual_total_us: u64,
     /// Netsim queue high-water mark of this connection.
     pub queue_high_water: u64,
+    /// The on-path observer's view, when a tap was attached.
+    pub observer: Option<ObserverView>,
 }
 
 impl RecordRow {
@@ -65,6 +68,7 @@ impl RecordRow {
             virtual_handshake_us: r.virtual_handshake_us,
             virtual_total_us: r.virtual_total_us,
             queue_high_water: r.queue_high_water,
+            observer: r.observer,
         }
     }
 }
@@ -83,6 +87,7 @@ pub struct RecordBatch {
     virtual_handshake_us: Vec<Option<u64>>,
     virtual_total_us: Vec<u64>,
     queue_high_waters: Vec<u64>,
+    observers: Vec<Option<ObserverView>>,
     /// Row offset where each domain group starts; rows of one domain are
     /// contiguous. `group_starts[i]..group_starts[i+1]` (or `len`) is
     /// group `i`.
@@ -116,6 +121,7 @@ impl RecordBatch {
             self.virtual_handshake_us.push(r.virtual_handshake_us);
             self.virtual_total_us.push(r.virtual_total_us);
             self.queue_high_waters.push(r.queue_high_water);
+            self.observers.push(r.observer);
         }
     }
 
@@ -148,6 +154,7 @@ impl RecordBatch {
             virtual_handshake_us: self.virtual_handshake_us[index],
             virtual_total_us: self.virtual_total_us[index],
             queue_high_water: self.queue_high_waters[index],
+            observer: self.observers[index],
         }
     }
 
@@ -183,6 +190,7 @@ impl RecordBatch {
             + col(&self.virtual_handshake_us)
             + col(&self.virtual_total_us)
             + col(&self.queue_high_waters)
+            + col(&self.observers)
             + col(&self.group_starts)
     }
 
@@ -199,6 +207,7 @@ impl RecordBatch {
         self.virtual_handshake_us.clear();
         self.virtual_total_us.clear();
         self.queue_high_waters.clear();
+        self.observers.clear();
         self.group_starts.clear();
     }
 }

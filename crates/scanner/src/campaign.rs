@@ -57,6 +57,13 @@ pub struct CampaignConfig {
     /// [`run_campaign_flight`](Scanner::run_campaign_flight) family
     /// force-enables it. Detection never changes the records produced.
     pub flight: FlightConfig,
+    /// Position of the passive on-path observer tap, as a fraction of the
+    /// client→server path (0.0 = client-side, 1.0 = server-side). `None`
+    /// (the default) runs without a tap; `Some` attaches the observer to
+    /// every probe and records its view on each connection record (see
+    /// [`crate::observe::ObserverView`]). The tap is passive: the records'
+    /// measurement fields are identical with and without it.
+    pub tap: Option<f64>,
 }
 
 impl Default for CampaignConfig {
@@ -71,6 +78,7 @@ impl Default for CampaignConfig {
             keep_qlogs: false,
             telemetry: Arc::new(Registry::disabled()),
             flight: FlightConfig::default(),
+            tap: None,
         }
     }
 }
@@ -91,6 +99,12 @@ impl CampaignConfig {
             entry("jitter_frac", self.conditions.jitter_frac.to_string()),
             entry("keep_qlogs", self.keep_qlogs.to_string()),
         ];
+        if let Some(tap) = self.tap {
+            entries.push(entry(
+                "tap_vantage_millionths",
+                crate::observe::vantage_millionths(tap).to_string(),
+            ));
+        }
         if self.flight.enabled {
             entries.push(entry("flight_seed", format!("{:#018x}", self.flight.seed)));
             entries.push(entry(
@@ -181,6 +195,7 @@ impl<'p> Scanner<'p> {
         out: &mut Vec<ConnectionRecord>,
     ) {
         scratch.flight_inspect = config.flight.enabled;
+        scratch.tap_position = config.tap;
         if !config.flight.enabled {
             self.scan_domain_hops(domain_id, config, scratch, out);
             return;
@@ -366,6 +381,7 @@ impl<'p> Scanner<'p> {
     {
         let threads = config.threads.max(1);
         let batches = (ids.end.saturating_sub(ids.start)).div_ceil(BATCH_SIZE);
+        note_tap_vantage(config);
         let cursor = AtomicU32::new(0);
         // One worker loop, shared by the sequential and threaded paths so
         // both build the exact same per-batch accumulation tree. Each
@@ -509,6 +525,7 @@ impl<'p> Scanner<'p> {
         if reg.is_enabled() {
             reg.gauge_set(GaugeId::RecordBudgetBytes, budget_bytes as u64);
         }
+        note_tap_vantage(config);
         let cursor = AtomicU32::new(0);
 
         // Scans one claimed batch into `out`. Mirrors the fold engine's
@@ -905,6 +922,19 @@ fn render_trend(live: &TimeSeries) -> Option<String> {
     ))
 }
 
+/// Notes the configured tap position on the vantage gauge (once per
+/// sweep; untapped campaigns leave the gauge at zero).
+fn note_tap_vantage(config: &CampaignConfig) {
+    if let Some(tap) = config.tap {
+        if config.telemetry.is_enabled() {
+            config.telemetry.gauge_set(
+                GaugeId::ObserverVantageMillionths,
+                crate::observe::vantage_millionths(tap) as u64,
+            );
+        }
+    }
+}
+
 /// Folds one scanned domain's outcome into the registry's live counters.
 fn note_domain_records(reg: &Registry, records: &[ConnectionRecord]) {
     if !reg.is_enabled() {
@@ -1114,6 +1144,40 @@ mod tests {
                 serde_json::to_string(y).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn tapped_campaign_is_bit_identical_across_threads_and_passive() {
+        let pop = tiny_pop();
+        let scanner = Scanner::new(&pop);
+        let tapped = |threads| CampaignConfig {
+            threads,
+            tap: Some(0.25),
+            ..clean_config()
+        };
+        let one = scanner.run_campaign(&tapped(1));
+        let four = scanner.run_campaign(&tapped(4));
+        assert_eq!(one.len(), four.len());
+        for (x, y) in one.records.iter().zip(&four.records) {
+            assert_eq!(
+                serde_json::to_string(x).unwrap(),
+                serde_json::to_string(y).unwrap()
+            );
+        }
+        // Every established record carries the observer's view; the tap
+        // itself never perturbs the client-side measurement.
+        let untapped = scanner.run_campaign(&clean_config());
+        let mut measured = 0usize;
+        for (t, u) in one.records.iter().zip(&untapped.records) {
+            assert_eq!(t.report, u.report);
+            assert_eq!(t.observer.is_some(), t.outcome == ScanOutcome::Ok);
+            assert!(u.observer.is_none());
+            if let Some(view) = &t.observer {
+                assert_eq!(view.vantage_millionths, 250_000);
+                measured += usize::from(view.stats.measurable);
+            }
+        }
+        assert!(measured > 0, "some tapped flows must be measurable");
     }
 
     #[test]

@@ -195,6 +195,17 @@ pub enum AnomalyKind {
     StageOutlier,
     /// Healthy probe retained by deterministic baseline sampling.
     BaselineSample,
+    /// The on-path observer's mean RTT diverges from the measuring
+    /// client's spin-derived mean beyond the configured threshold (only
+    /// detectable on tapped campaigns).
+    ObserverDivergence,
+    /// The observer counted more downstream spin edges than the client's
+    /// sample stream implies — edges the client missed or artifacts the
+    /// tap position manufactured.
+    ObserverExtraEdges,
+    /// A tap was attached but the flow yielded no valid observer RTT
+    /// sample (grease/disable policies, too-short exchanges).
+    ObserverUnmeasurable,
 }
 
 impl AnomalyKind {
@@ -206,6 +217,9 @@ impl AnomalyKind {
         AnomalyKind::HandshakeFailure,
         AnomalyKind::StageOutlier,
         AnomalyKind::BaselineSample,
+        AnomalyKind::ObserverDivergence,
+        AnomalyKind::ObserverExtraEdges,
+        AnomalyKind::ObserverUnmeasurable,
     ];
 
     /// Stable kebab-case name (matches the serde form and the
@@ -218,6 +232,9 @@ impl AnomalyKind {
             AnomalyKind::HandshakeFailure => "handshake-failure",
             AnomalyKind::StageOutlier => "stage-outlier",
             AnomalyKind::BaselineSample => "baseline-sample",
+            AnomalyKind::ObserverDivergence => "observer-divergence",
+            AnomalyKind::ObserverExtraEdges => "observer-extra-edges",
+            AnomalyKind::ObserverUnmeasurable => "observer-unmeasurable",
         }
     }
 
@@ -387,6 +404,54 @@ impl FlightShard {
                         }
                     }
                     prev_class = Some(class);
+                }
+            }
+
+            if let Some(view) = &rec.observer {
+                if let Some(div) = view.divergence() {
+                    if div > cfg.rtt_divergence_threshold {
+                        found.push(Anomaly {
+                            probe,
+                            kind: AnomalyKind::ObserverDivergence,
+                            severity: 120 + (div * 100.0).min(880.0) as u32,
+                            value: div,
+                            detail: format!(
+                                "tap at {} mean {:?} µs vs client spin mean {:?} µs",
+                                view.vantage(),
+                                view.stats.mean_us,
+                                view.client_spin_mean_us
+                            ),
+                        });
+                    }
+                }
+                let spinning = rec
+                    .report
+                    .as_ref()
+                    .is_some_and(|r| r.classification == FlowClassification::Spinning);
+                let extra = view.extra_edges();
+                if spinning && extra > 0 {
+                    found.push(Anomaly {
+                        probe,
+                        kind: AnomalyKind::ObserverExtraEdges,
+                        severity: 140 + 10 * extra.min(30) as u32,
+                        value: extra as f64,
+                        detail: format!(
+                            "observer saw {extra} downstream edge(s) beyond the client's stream"
+                        ),
+                    });
+                }
+                if rec.outcome == ScanOutcome::Ok && !view.stats.measurable {
+                    found.push(Anomaly {
+                        probe,
+                        kind: AnomalyKind::ObserverUnmeasurable,
+                        severity: 80,
+                        value: view.stats.packets as f64,
+                        detail: format!(
+                            "tap at {} saw {} short-header packet(s) but no valid RTT sample",
+                            view.vantage(),
+                            view.stats.packets
+                        ),
+                    });
                 }
             }
 
@@ -1016,6 +1081,87 @@ mod tests {
             },
         );
         assert_eq!(invalid_spin_edges(&t, None, 0.5), 1);
+    }
+
+    #[test]
+    fn observer_views_trip_the_new_anomaly_kinds() {
+        use crate::observe::ObserverView;
+        use quicspin_core::ObserverReport;
+        use quicspin_observer::FlowStats;
+        use quicspin_webpop::{IpVersion, ListKind, Org};
+
+        let stats = |samples: u64, mean: Option<u64>, edges_down: u64| FlowStats {
+            packets: 30,
+            unobservable: 2,
+            edges_upstream: edges_down,
+            edges_downstream: edges_down,
+            samples,
+            samples_upstream: samples,
+            mean_us: mean,
+            min_us: mean,
+            max_us: mean,
+            server_side_mean_us: None,
+            client_side_mean_us: None,
+            rejected_reorder: 0,
+            rejected_gap: 0,
+            suppressed_warmup: 0,
+            measurable: samples > 0,
+        };
+        let report = |spin: &[u64]| ObserverReport {
+            classification: FlowClassification::Spinning,
+            packets: 30,
+            spin_samples_received_us: spin.to_vec(),
+            spin_samples_sorted_us: spin.to_vec(),
+            stack_samples_us: spin.to_vec(),
+        };
+        let record = |domain_id: u32, view: ObserverView, rep: ObserverReport| {
+            let mut r = ConnectionRecord::failed(
+                domain_id,
+                ListKind::Toplist,
+                Org::Other,
+                0,
+                IpVersion::V4,
+                ScanOutcome::Ok,
+            );
+            r.report = Some(rep);
+            r.observer = Some(view);
+            r
+        };
+
+        let cfg = FlightConfig::armed(7);
+        let mut shard = FlightShard::default();
+
+        // Diverging: observer mean 52 ms vs client 40 ms (30% > 10%), and
+        // 4 extra downstream edges beyond the client's 3-edge stream.
+        let rep = report(&[40_000, 40_000]);
+        let diverging = record(
+            1,
+            ObserverView::new(0.5, stats(4, Some(52_000), 7), &rep),
+            rep,
+        );
+        // Unmeasurable: a tap that never produced a sample on an Ok flow.
+        let rep = report(&[]);
+        let unmeasurable = record(2, ObserverView::new(0.5, stats(0, None, 0), &rep), rep);
+        // Clean: observer agrees with the client exactly.
+        let rep = report(&[40_000, 40_000]);
+        let clean = record(
+            3,
+            ObserverView::new(0.5, stats(2, Some(40_000), 3), &rep),
+            rep,
+        );
+
+        shard.inspect_domain(&cfg, &[diverging]);
+        shard.inspect_domain(&cfg, &[unmeasurable]);
+        shard.inspect_domain(&cfg, &[clean]);
+
+        let kinds: Vec<AnomalyKind> = shard.anomalies().iter().map(|a| a.kind).collect();
+        assert!(kinds.contains(&AnomalyKind::ObserverDivergence));
+        assert!(kinds.contains(&AnomalyKind::ObserverExtraEdges));
+        assert!(kinds.contains(&AnomalyKind::ObserverUnmeasurable));
+        assert!(
+            shard.anomalies().iter().all(|a| a.probe.domain_id != 3),
+            "clean flow must not be flagged"
+        );
     }
 
     #[test]

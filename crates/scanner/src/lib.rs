@@ -20,16 +20,17 @@ pub mod batch;
 pub mod campaign;
 pub mod flight;
 pub mod longitudinal;
+pub mod observe;
 pub mod probe;
 pub mod record;
 pub mod timeseries;
 
 pub use artifacts::{
     export_binary_stripped, export_binary_stripped_telemetry, export_qlogs, read_anomaly_index,
-    read_chrome_trace, read_flagged_trace, read_run_manifest, read_timeseries, strip_for_release,
-    write_chrome_trace, write_flight_recording, write_run_manifest, write_timeseries,
-    ANOMALY_INDEX_FILE_NAME, CHROME_TRACE_FILE_NAME, MANIFEST_FILE_NAME, TIMESERIES_FILE_NAME,
-    TRACE_STORE_FILE_NAME,
+    read_chrome_trace, read_flagged_trace, read_observer, read_run_manifest, read_timeseries,
+    strip_for_release, write_chrome_trace, write_flight_recording, write_observer,
+    write_run_manifest, write_timeseries, ANOMALY_INDEX_FILE_NAME, CHROME_TRACE_FILE_NAME,
+    MANIFEST_FILE_NAME, OBSERVER_FILE_NAME, TIMESERIES_FILE_NAME, TRACE_STORE_FILE_NAME,
 };
 pub use batch::{RecordBatch, RecordRow};
 pub use campaign::{Campaign, CampaignConfig, Scanner};
@@ -38,6 +39,10 @@ pub use flight::{
     RetainedTrace, TraceSlot, VirtualStageSummary, ANOMALY_SCHEMA_VERSION,
 };
 pub use longitudinal::{run_longitudinal, DomainWeeks, LongitudinalConfig, LongitudinalResult};
+pub use observe::{
+    vantage_millionths, ObserverDoc, ObserverDocBuilder, ObserverFlowRow, ObserverSummary,
+    ObserverView, OBSERVER_SCHEMA_VERSION,
+};
 pub use probe::{probe_connection, probe_connection_scratch, NetworkConditions, ProbeScratch};
 pub use quicspin_telemetry::{ProgressSnapshot, Registry, RunManifest, TimeSeriesDoc};
 pub use record::{ConnectionRecord, ScanOutcome};

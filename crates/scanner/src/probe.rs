@@ -37,6 +37,11 @@ pub struct ProbeScratch {
     /// Worker-private flight-recorder state (anomalies + retained traces),
     /// merged at fold time like [`ProbeScratch::telemetry`].
     pub flight: crate::flight::FlightShard,
+    /// When set (by an observer campaign), probes arm the simulator's
+    /// passive tap at this path position and fold the capture through the
+    /// `quicspin-observer` privacy boundary into an
+    /// [`crate::observe::ObserverView`] on the record.
+    pub tap_position: Option<f64>,
     /// One-entry name cache: the `www.` query target of the domain
     /// currently being probed. A probe resolves the same name at several
     /// call sites (request host, redirect location, qlog titles) across
@@ -269,9 +274,10 @@ pub fn probe_connection_scratch(
         server: server_cfg,
         server_profile,
         link_rate_bytes_per_sec: Some(12_500_000),
-        // The probe only reads the client's own qlog; nothing consumes tap
-        // records, so the (purely passive) tap stays off.
-        tap_position: None,
+        // Off by default: the probe then only reads the client's own
+        // qlog. An observer campaign arms the (purely passive) tap and
+        // folds its capture below.
+        tap_position: scratch.tap_position,
         request: request.encode(),
         response_prefix: response.encode_header(),
         max_duration: SimDuration::from_secs(60),
@@ -309,6 +315,7 @@ pub fn probe_connection_scratch(
             host: Some(plan.host),
             webserver: None,
             report: None,
+            observer: None,
             virtual_handshake_us,
             virtual_total_us,
             queue_high_water,
@@ -336,6 +343,44 @@ pub fn probe_connection_scratch(
     );
     let t = scratch.telemetry.record_lap(Stage::Classify, t);
 
+    // On-path observation: narrow the tap capture through the observer's
+    // privacy boundary (short-header bytes only) and keep the flow view
+    // next to the client's own report.
+    let observer_view = scratch.tap_position.map(|position| {
+        let mut flow = quicspin_observer::FlowObserver::default();
+        flow.ingest_tap_records(&outcome.tap_records, outcome.cid_len);
+        let stats = flow.stats();
+        scratch
+            .telemetry
+            .add(Metric::ObserverPacketsObserved, stats.packets);
+        scratch
+            .telemetry
+            .add(Metric::ObserverUnobservable, stats.unobservable);
+        scratch.telemetry.add(
+            Metric::ObserverEdgesObserved,
+            stats.edges_upstream + stats.edges_downstream,
+        );
+        scratch.telemetry.add(
+            Metric::ObserverSamplesAccepted,
+            stats.samples + stats.samples_upstream,
+        );
+        scratch.telemetry.add(
+            Metric::ObserverSamplesRejected,
+            stats.rejected_reorder + stats.rejected_gap,
+        );
+        scratch.telemetry.incr(if stats.measurable {
+            Metric::ObserverFlowsMeasurable
+        } else {
+            Metric::ObserverFlowsUnmeasurable
+        });
+        crate::observe::ObserverView::new(position, stats, &report)
+    });
+    let t = if scratch.tap_position.is_some() {
+        scratch.telemetry.record_lap(Stage::ObserverFold, t)
+    } else {
+        t
+    };
+
     let qlog = (keep_qlog || scratch.flight_inspect).then(|| {
         let mut trace = std::mem::take(&mut outcome.client_qlog);
         trace.title = scratch.www_target(domain).to_owned();
@@ -362,6 +407,7 @@ pub fn probe_connection_scratch(
         host: Some(plan.host),
         webserver,
         report: Some(report),
+        observer: observer_view,
         virtual_handshake_us,
         virtual_total_us,
         queue_high_water,
@@ -539,6 +585,47 @@ mod tests {
             assert_eq!(fresh.report, reused.report);
             assert_eq!(fresh.qlog, reused.qlog);
         }
+    }
+
+    #[test]
+    fn tapped_probe_attaches_observer_view_without_changing_the_report() {
+        let pop = population();
+        let d = first_quic(&pop);
+        let plan = pop.plan_connection(d.id, 0, IpVersion::V4, 0).unwrap();
+        let run = |tap: Option<f64>| {
+            let mut scratch = ProbeScratch {
+                tap_position: tap,
+                ..ProbeScratch::default()
+            };
+            probe_connection_scratch(
+                d,
+                &plan,
+                0,
+                IpVersion::V4,
+                0,
+                &NetworkConditions::clean(),
+                ObserverConfig::default(),
+                GreaseFilter::paper(),
+                false,
+                &mut scratch,
+            )
+            .0
+        };
+        let untapped = run(None);
+        let tapped = run(Some(0.5));
+        assert!(untapped.observer.is_none());
+        let view = tapped.observer.expect("tap attaches a view");
+        assert_eq!(view.vantage_millionths, 500_000);
+        // The passive tap must not perturb the measurement itself.
+        assert_eq!(tapped.report, untapped.report);
+        // Clean path: the observer's sample stream matches the client's.
+        let report = tapped.report.unwrap();
+        assert_eq!(
+            view.stats.samples,
+            report.spin_samples_received_us.len() as u64
+        );
+        assert_eq!(view.stats.mean_us, view.client_spin_mean_us);
+        assert_eq!(view.extra_edges(), 0);
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub struct ConnectionRecord {
     pub webserver: Option<WebServer>,
     /// The spin-bit assessment (present for established connections).
     pub report: Option<ObserverReport>,
+    /// The on-path observer's view of this connection, present when the
+    /// campaign ran with a tap attached (see
+    /// [`crate::observe::ObserverView`]).
+    #[serde(default)]
+    pub observer: Option<crate::observe::ObserverView>,
     /// Simulated handshake time in microseconds, when the handshake
     /// completed. Virtual-clock time, so it is identical for any
     /// worker-thread count — the time-series layer samples it.
@@ -93,6 +98,7 @@ impl ConnectionRecord {
             host: None,
             webserver: None,
             report: None,
+            observer: None,
             virtual_handshake_us: None,
             virtual_total_us: 0,
             queue_high_water: 0,

@@ -4,13 +4,16 @@
 //! into one campaign directory: the anomaly index (`anomalies.json`),
 //! the binary trace store (`traces.bin`), the run manifest
 //! (`metrics.json`), the deterministic campaign time series
-//! (`timeseries.json`), and the Chrome trace-event export
-//! (`trace.json`).
+//! (`timeseries.json`), the Chrome trace-event export (`trace.json`),
+//! and the on-path observer document (`observer.json`).
 //!
 //! Subcommands:
 //!
 //! * `spinctl run` — run a small flight-recorded campaign against a
-//!   synthetic population and write all five artifacts;
+//!   synthetic population, with a passive on-path tap attached by
+//!   default, and write all six artifacts;
+//! * `spinctl observe` — render `observer.json`: the tap's per-flow
+//!   RTT reconstruction next to the client's own spin and stack means;
 //! * `spinctl summary` — campaign id, retention budget usage, anomaly
 //!   counts by kind, the RTT-divergence distribution, virtual stage
 //!   latencies, and the run-manifest counters;
@@ -35,10 +38,10 @@ use quicspin_core::reorder::ReorderComparison;
 use quicspin_core::{ObserverConfig, PacketObservation};
 use quicspin_qlog::render_timeline;
 use quicspin_scanner::{
-    chrome_trace_export, read_anomaly_index, read_flagged_trace, read_run_manifest,
-    read_timeseries, write_chrome_trace, write_flight_recording, write_run_manifest,
-    write_timeseries, AnomalyIndex, AnomalyKind, CampaignConfig, FlightConfig, ProbeId,
-    RunManifest, Scanner, TimeSeriesBuilder, TimeSeriesDoc,
+    chrome_trace_export, read_anomaly_index, read_flagged_trace, read_observer, read_run_manifest,
+    read_timeseries, write_chrome_trace, write_flight_recording, write_observer,
+    write_run_manifest, write_timeseries, AnomalyIndex, AnomalyKind, CampaignConfig, FlightConfig,
+    ObserverDocBuilder, ProbeId, RunManifest, Scanner, TimeSeriesBuilder, TimeSeriesDoc,
 };
 use quicspin_telemetry::DEFAULT_TIMESERIES_CAPACITY;
 use quicspin_webpop::{Population, PopulationConfig};
@@ -72,7 +75,8 @@ spinctl — QUIC spin-bit campaign flight recorder
 USAGE:
     spinctl run       [--dir DIR] [--domains N] [--seed S] [--threads T]
                       [--budget-bytes B] [--record-budget B] [--sample-every K]
-                      [--loss P]
+                      [--loss P] [--tap P]
+    spinctl observe   [--dir DIR] [--limit N]
     spinctl summary   [--dir DIR]
     spinctl anomalies [--dir DIR] [--kind KIND] [--limit N]
     spinctl trace     (<probe-id> | --first) [--dir DIR]
@@ -84,8 +88,12 @@ USAGE:
 campaign path (worker record batches fold straight into the artifacts;
 --record-budget caps resident record bytes, 0 = unbounded) with the
 flight recorder armed, and writes metrics.json, anomalies.json,
-traces.bin, timeseries.json, and trace.json (Chrome trace-event form;
-load in Perfetto) into DIR.
+traces.bin, timeseries.json, trace.json (Chrome trace-event form; load
+in Perfetto), and observer.json into DIR. --tap P places a passive
+on-path observer at fraction P of the client->server path (default
+0.5; `--tap off` disables it and skips observer.json). `observe`
+renders observer.json: per-flow RTT as reconstructed from the middle
+of the path, next to the client's own spin and stack means.
 `compare` diffs two campaign directories — virtual-latency p99s against
 a multiplicative band (default 1.25), error-rate drift, and
 classification-mix drift (default 0.02) — or, with --bench, two
@@ -94,7 +102,8 @@ finds a regression. `trend` tabulates campaign directories by week as a
 spin-compliance view.
 `<probe-id>` is `domain` or `domain:hop`, as printed by `anomalies`.
 KIND is one of: rtt-divergence, invalid-spin-edge, classification-flip,
-handshake-failure, stage-outlier, baseline-sample.
+handshake-failure, stage-outlier, baseline-sample, observer-divergence,
+observer-extra-edges, observer-unmeasurable.
 ";
 
 /// Executes one spinctl invocation. `args` excludes the program name.
@@ -109,6 +118,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
     let rest = &args[1..];
     match cmd.as_str() {
         "run" => cmd_run(rest, out).map(|()| 0),
+        "observe" => cmd_observe(rest, out).map(|()| 0),
         "summary" => cmd_summary(rest, out).map(|()| 0),
         "anomalies" => cmd_anomalies(rest, out).map(|()| 0),
         "trace" => cmd_trace(rest, out).map(|()| 0),
@@ -226,6 +236,7 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "record-budget",
         "sample-every",
         "loss",
+        "tap",
     ])?;
     if !args.positional.is_empty() {
         return Err(format!(
@@ -261,12 +272,31 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             config.conditions.loss
         ));
     }
+    // The tap rides along by default: it is passive (records are
+    // bit-identical with and without it), and observer.json is the
+    // artifact `spinctl observe` renders.
+    config.tap = match args.get("tap") {
+        Some("off") => None,
+        raw => {
+            let raw = raw.unwrap_or("0.5");
+            let p: f64 = raw
+                .parse()
+                .map_err(|_| format!("invalid value {raw:?} for --tap"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("--tap must be in [0, 1] or \"off\", got {p}"));
+            }
+            Some(p)
+        }
+    };
     // The progress sink must be Send, so collect the monitor lines and
     // replay them onto `out` once the sweep has joined. The batch sink
     // runs on this thread: record batches fold into the time series (and
     // a row count) the moment workers publish them — no record vector.
     let mut progress: Vec<String> = Vec::new();
     let mut builder = TimeSeriesBuilder::new(DEFAULT_TIMESERIES_CAPACITY);
+    let mut observer = config
+        .tap
+        .map(|p| ObserverDocBuilder::new(&config.campaign_id(), p));
     let mut rows: u64 = 0;
     let scanner = Scanner::new(&population);
     let (recording, manifest) = scanner.run_campaign_streamed_flight_with_progress(
@@ -276,6 +306,11 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         |line| progress.push(line.to_string()),
         |batch| {
             rows += batch.len() as u64;
+            if let Some(observer) = observer.as_mut() {
+                for i in 0..batch.len() {
+                    observer.note_row(&batch.row(i));
+                }
+            }
             builder.push_batch(batch);
         },
     );
@@ -324,7 +359,92 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         trace_path.display(),
         events.len(),
     ))?;
+    if let Some(observer) = observer {
+        let doc = observer.finish();
+        let observer_path = write_observer(&dir, &doc).map_err(|e| e.to_string())?;
+        w(format!(
+            "wrote {} ({} observed flows, tap at {:.3} of the path)",
+            observer_path.display(),
+            doc.flows.len(),
+            doc.vantage(),
+        ))?;
+    }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// spinctl observe
+// ---------------------------------------------------------------------------
+
+fn cmd_observe(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let args = ParsedArgs::parse(args, &[])?;
+    args.ensure_known(&["dir", "limit"])?;
+    let dir = args.dir();
+    let limit: usize = args.get_parsed("limit", 20)?;
+    let doc = read_observer(&dir).map_err(|e| e.to_string())?;
+    let cell = |v: Option<u64>| v.map_or("-".to_string(), |v| v.to_string());
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "campaign {} (observer schema v{}), tap at {:.3} of the client->server path",
+        doc.campaign,
+        doc.schema_version,
+        doc.vantage(),
+    );
+    let s = &doc.summary;
+    let _ = writeln!(
+        text,
+        "flows: {} observed, {} measurable, {} unmeasurable",
+        s.flows, s.measurable, s.unmeasurable
+    );
+    let _ = writeln!(
+        text,
+        "samples: {} accepted, {} rejected as reordering, {} dropped as loss gaps",
+        s.samples, s.rejected_reorder, s.rejected_gap
+    );
+    let _ = writeln!(
+        text,
+        "mean RTT (µs): observer {}, client spin {}, stack {}",
+        cell(s.observer_mean_us),
+        cell(s.client_mean_us),
+        cell(s.stack_mean_us),
+    );
+    let _ = writeln!(
+        text,
+        "max observer-vs-client divergence: {:.1}%",
+        s.max_divergence_millionths as f64 / 10_000.0
+    );
+    let _ = writeln!(
+        text,
+        "\nper-flow observer RTT ({} of {} flows shown):",
+        doc.flows.len().min(limit),
+        doc.flows.len(),
+    );
+    let _ = writeln!(
+        text,
+        "  {:>6} {:>4} {:>8} {:>6} {:>8} {:>10} {:>10} {:>10}  {:>7}",
+        "domain", "hop", "packets", "edges", "samples", "obs µs", "client µs", "stack µs", "diverg"
+    );
+    for row in doc.flows.iter().take(limit) {
+        let v = &row.view;
+        let diverg = v
+            .divergence()
+            .map_or("-".to_string(), |d| format!("{:.1}%", d * 100.0));
+        let _ = writeln!(
+            text,
+            "  {:>6} {:>4} {:>8} {:>6} {:>8} {:>10} {:>10} {:>10}  {:>7}",
+            row.domain_id,
+            row.hop,
+            v.stats.packets,
+            v.stats.edges_downstream,
+            v.stats.samples,
+            cell(v.stats.mean_us),
+            cell(v.client_spin_mean_us),
+            cell(v.stack_mean_us),
+            diverg,
+        );
+    }
+    write!(out, "{text}").map_err(|e| e.to_string())
 }
 
 // ---------------------------------------------------------------------------
@@ -979,14 +1099,22 @@ mod tests {
         assert!(run_str(&["run", "--loss", "1.5"])
             .unwrap_err()
             .contains("--loss"));
+        assert!(run_str(&["run", "--tap", "1.5"])
+            .unwrap_err()
+            .contains("--tap"));
+        assert!(run_str(&["run", "--tap", "nope"])
+            .unwrap_err()
+            .contains("--tap"));
     }
 
     #[test]
     fn help_prints_usage() {
         let help = run_str(&["help"]).unwrap();
         assert!(help.contains("spinctl run"));
+        assert!(help.contains("spinctl observe"));
         assert!(help.contains("spinctl compare"));
         assert!(help.contains("spinctl trend"));
+        assert!(help.contains("observer-divergence"));
     }
 
     #[test]
@@ -998,10 +1126,13 @@ mod tests {
             vec!["trace", "--first", "--dir", missing],
             vec!["compare", missing, missing],
             vec!["trend", missing],
+            vec!["observe", "--dir", missing],
         ] {
             let err = run_str(&cmd).unwrap_err();
             assert!(
-                err.contains("anomalies.json") || err.contains("metrics.json"),
+                err.contains("anomalies.json")
+                    || err.contains("metrics.json")
+                    || err.contains("observer.json"),
                 "{cmd:?}: {err}"
             );
             assert!(
@@ -1035,6 +1166,11 @@ mod tests {
         let err = run_str(&["compare", "--bench", dir_s, dir_s]).unwrap_err();
         assert!(err.contains("bench report"), "err: {err}");
 
+        std::fs::write(dir.join("observer.json"), "{\"schema_version\":").unwrap();
+        let err = run_str(&["observe", "--dir", dir_s]).unwrap_err();
+        assert!(err.contains("observer.json"), "err: {err}");
+        assert!(!err.trim().contains('\n'), "err spans lines: {err}");
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1044,6 +1180,8 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let dir_s = dir.to_str().unwrap();
 
+        // Seed 9 yields a population where some spinning flows run long
+        // enough for the on-path observer to take RTT samples.
         let ran = run_str(&[
             "run",
             "--dir",
@@ -1051,7 +1189,7 @@ mod tests {
             "--domains",
             "220",
             "--seed",
-            "7",
+            "9",
             "--sample-every",
             "16",
         ])
@@ -1060,15 +1198,36 @@ mod tests {
         assert!(ran.contains("anomalies.json"), "out: {ran}");
         assert!(ran.contains("timeseries.json"), "out: {ran}");
         assert!(ran.contains("trace.json"), "out: {ran}");
+        assert!(ran.contains("observer.json"), "out: {ran}");
         assert!(dir.join("metrics.json").is_file());
         assert!(dir.join("traces.bin").is_file());
         assert!(dir.join("timeseries.json").is_file());
         assert!(dir.join("trace.json").is_file());
+        assert!(dir.join("observer.json").is_file());
 
         let summary = run_str(&["summary", "--dir", dir_s]).unwrap();
         assert!(summary.contains("anomalies by kind"), "out: {summary}");
         assert!(summary.contains("retention:"), "out: {summary}");
         assert!(summary.contains("campaign run manifest"), "out: {summary}");
+
+        let observed = run_str(&["observe", "--dir", dir_s, "--limit", "5"]).unwrap();
+        assert!(
+            observed.contains("tap at 0.500 of the client->server path"),
+            "out: {observed}"
+        );
+        assert!(
+            observed.contains("per-flow observer RTT"),
+            "out: {observed}"
+        );
+        assert!(observed.contains("measurable"), "out: {observed}");
+        // The per-flow table reports observer RTT means next to the
+        // client's own; a clean default run yields measurable flows.
+        let doc = quicspin_scanner::read_observer(&dir).unwrap();
+        assert!(
+            doc.summary.measurable > 0,
+            "no measurable flows: {observed}"
+        );
+        assert!(doc.summary.observer_mean_us.is_some());
 
         let listed = run_str(&["anomalies", "--dir", dir_s, "--limit", "5"]).unwrap();
         assert!(listed.contains("severity"), "out: {listed}");
@@ -1115,6 +1274,7 @@ mod tests {
             "anomalies.json",
             "traces.bin",
             "trace.json",
+            "observer.json",
         ] {
             assert_eq!(
                 read(&dir_a, artifact),
@@ -1133,6 +1293,30 @@ mod tests {
         assert!(summary.contains("peak_record_bytes"), "out: {summary}");
         assert!(summary.contains("event_queue_depth"), "out: {summary}");
         assert!(summary.contains("record_budget_bytes"), "out: {summary}");
+
+        // Disabling the tap skips observer.json without disturbing the
+        // rest of the artifact set.
+        let dir_off = base.join("off");
+        run_str(&[
+            "run",
+            "--dir",
+            dir_off.to_str().unwrap(),
+            "--domains",
+            "200",
+            "--seed",
+            "9",
+            "--tap",
+            "off",
+            "--record-budget",
+            "16384",
+        ])
+        .unwrap();
+        assert!(!dir_off.join("observer.json").exists());
+        assert_eq!(
+            read(&dir_a, "timeseries.json"),
+            read(&dir_off, "timeseries.json"),
+            "the tap must be passive: timeseries.json differs with --tap off"
+        );
 
         let _ = std::fs::remove_dir_all(&base);
     }

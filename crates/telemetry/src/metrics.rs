@@ -163,6 +163,21 @@ metric_enum! {
         FlightTracesEvicted => "flight_traces_evicted",
         /// Bytes of binary-encoded flagged traces retained at fold time.
         FlightTraceBytesRetained => "flight_trace_bytes_retained",
+        /// Short-header packets the on-path observer parsed at the tap.
+        ObserverPacketsObserved => "observer_packets_observed",
+        /// Tap datagrams the observer's privacy boundary refused
+        /// (long-header handshake packets and undecodable bytes).
+        ObserverUnobservable => "observer_unobservable",
+        /// Raw spin edges the observer saw (both directions).
+        ObserverEdgesObserved => "observer_edges_observed",
+        /// Observer RTT samples accepted by the validity heuristics.
+        ObserverSamplesAccepted => "observer_samples_accepted",
+        /// Observer samples rejected (reordering or loss-gap heuristics).
+        ObserverSamplesRejected => "observer_samples_rejected",
+        /// Observed flows that yielded at least one RTT sample.
+        ObserverFlowsMeasurable => "observer_flows_measurable",
+        /// Observed flows the tap could not measure.
+        ObserverFlowsUnmeasurable => "observer_flows_unmeasurable",
     }
 }
 
@@ -185,6 +200,9 @@ metric_enum! {
         /// Configured high-water byte budget of the streamed campaign
         /// path (0 = unbounded).
         RecordBudgetBytes => "record_budget_bytes",
+        /// Tap position of the on-path observer in millionths of the
+        /// path (set once at campaign start when a tap is attached).
+        ObserverVantageMillionths => "observer_vantage_millionths",
     }
 }
 
@@ -203,6 +221,8 @@ metric_enum! {
         Classify => "classify",
         /// Qlog trace retention/encoding on `keep_qlogs` campaigns.
         QlogEncode => "qlog_encode",
+        /// On-path observer fold over the probe's tap capture.
+        ObserverFold => "observer_fold",
     }
 }
 

@@ -30,13 +30,22 @@ test -s "$SPINCTL_DIR/bench.json"
 cargo run --release -p quicspin-spinctl --bin spinctl -- \
   compare --bench "$SPINCTL_DIR/bench.json" "$SPINCTL_DIR/bench.json"
 
-# spinctl smoke: tiny flight-recorded campaign, then read every artifact
-# back through the CLI (summary, anomaly listing, one rendered trace).
+# spinctl smoke: tiny flight-recorded campaign (tap on by default), then
+# read every artifact back through the CLI (summary, anomaly listing,
+# one rendered trace, the observer's per-flow RTT view).
 cargo run --release -p quicspin-spinctl --bin spinctl -- \
   run --dir "$SPINCTL_DIR/a" --domains 220 --seed 7 --sample-every 16
 cargo run --release -p quicspin-spinctl --bin spinctl -- summary --dir "$SPINCTL_DIR/a"
 cargo run --release -p quicspin-spinctl --bin spinctl -- anomalies --dir "$SPINCTL_DIR/a" --limit 5
 cargo run --release -p quicspin-spinctl --bin spinctl -- trace --first --dir "$SPINCTL_DIR/a"
+test -s "$SPINCTL_DIR/a/observer.json"
+cargo run --release -p quicspin-spinctl --bin spinctl -- observe --dir "$SPINCTL_DIR/a" --limit 10
+# A missing observer document must fail with a one-line diagnostic.
+if cargo run --release -p quicspin-spinctl --bin spinctl -- \
+  observe --dir "$SPINCTL_DIR/does-not-exist" 2>/dev/null; then
+  echo "ERROR: observe did not fail on a missing campaign directory" >&2
+  exit 1
+fi
 
 # Regression gate smoke: an identical-seed rerun compares clean (exit 0);
 # a rerun under 30% loss must trip the gate (exit 2).
