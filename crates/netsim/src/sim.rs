@@ -63,6 +63,12 @@ pub struct PathStats {
     /// High-water mark of the event-queue depth (pending deliveries and
     /// timers); a proxy for how congested the simulated path ever got.
     pub queue_high_water: u64,
+    /// Events pushed onto the timing wheel (deliveries and timers).
+    pub queue_pushes: u64,
+    /// Events popped off the timing wheel.
+    pub queue_pops: u64,
+    /// Datagrams the path actually delivered to an endpoint.
+    pub delivered: u64,
 }
 
 impl PathStats {
@@ -289,6 +295,7 @@ impl Simulator {
         }
 
         let to = from.other();
+        self.stats.queue_pushes += transit.deliveries.len() as u64;
         for at in transit.deliveries {
             self.queue.push(
                 at,
@@ -304,6 +311,7 @@ impl Simulator {
     /// Arms a timer for `side` at absolute time `at`.
     pub fn set_timer(&mut self, side: Side, at: SimTime, token: u64) {
         let at = if at < self.now { self.now } else { at };
+        self.stats.queue_pushes += 1;
         self.queue.push(at, Pending::Timer { side, token });
         self.note_queue_depth();
     }
@@ -321,8 +329,12 @@ impl Simulator {
         let (at, pending) = self.queue.pop()?;
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
+        self.stats.queue_pops += 1;
         let event = match pending {
-            Pending::Deliver { to, datagram } => SimEvent::Datagram { to, datagram },
+            Pending::Deliver { to, datagram } => {
+                self.stats.delivered += 1;
+                SimEvent::Datagram { to, datagram }
+            }
             Pending::Timer { side, token } => SimEvent::Timer { side, token },
         };
         Some((at, event))
@@ -467,6 +479,31 @@ mod tests {
         while sim.step().is_some() {}
         assert_eq!(sim.pending(), 0);
         assert_eq!(sim.stats().queue_high_water, 3);
+    }
+
+    #[test]
+    fn queue_op_counters_track_pushes_pops_and_deliveries() {
+        let mut sim = Simulator::symmetric(LinkConfig::ideal(ms(10)), 1);
+        sim.send(Side::Client, vec![0]);
+        sim.send(Side::Client, vec![1]);
+        sim.set_timer(Side::Client, SimTime::ZERO + ms(1), 7);
+        assert_eq!(sim.stats().queue_pushes, 3);
+        assert_eq!(sim.stats().queue_pops, 0);
+        while sim.step().is_some() {}
+        let stats = *sim.stats();
+        assert_eq!(stats.queue_pops, 3);
+        // The timer pops but is not a delivery.
+        assert_eq!(stats.delivered, 2);
+
+        // A lossy send pushes nothing, so pushes stay op-exact.
+        let mut lossy = Simulator::new(
+            LinkConfig::ideal(ms(5)).with_loss(1.0),
+            LinkConfig::ideal(ms(5)),
+            1,
+        );
+        lossy.send(Side::Client, vec![0]);
+        assert_eq!(lossy.stats().queue_pushes, 0);
+        assert_eq!(lossy.stats().delivered, 0);
     }
 
     #[test]

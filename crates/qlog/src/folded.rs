@@ -1,0 +1,126 @@
+//! Collapsed-stack ("folded") flamegraph export.
+//!
+//! One line per unique stack, frames joined by `;`, a space, and the
+//! integer weight for that stack — the interchange format consumed by
+//! `flamegraph.pl`, speedscope, and inferno. The profiler writes its
+//! wall-clock self-time per scope path here (weights in nanoseconds),
+//! next to the Chrome trace export: the same run yields both a timeline
+//! and a flamegraph.
+
+/// One collapsed stack: a root-to-leaf frame path and its sample weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedStack {
+    /// Frames from root to leaf. Frames must not contain `;`, spaces, or
+    /// newlines — [`render_folded`] replaces offending bytes with `_` so
+    /// the output always parses.
+    pub frames: Vec<String>,
+    /// Sample weight (for the profiler: self-time in nanoseconds).
+    pub weight: u64,
+}
+
+/// Renders stacks in collapsed form, one line each, in input order. The
+/// output is a pure function of the input (no timestamps, no ordering by
+/// weight), so deterministic stacks produce byte-identical files.
+pub fn render_folded(stacks: &[FoldedStack]) -> String {
+    let mut out = String::new();
+    for stack in stacks {
+        if stack.frames.is_empty() {
+            continue;
+        }
+        for (i, frame) in stack.frames.iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            for c in frame.chars() {
+                out.push(match c {
+                    ';' | ' ' | '\n' | '\r' => '_',
+                    other => other,
+                });
+            }
+        }
+        out.push(' ');
+        out.push_str(&stack.weight.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses collapsed-stack text back into stacks. Blank lines are skipped;
+/// anything else must be `frame[;frame...] <integer>` or the line number
+/// and offending content are named in the error.
+pub fn parse_folded(text: &str) -> Result<Vec<FoldedStack>, String> {
+    let mut stacks = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (path, weight) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no weight in {line:?}", idx + 1))?;
+        let weight: u64 = weight
+            .parse()
+            .map_err(|e| format!("line {}: bad weight {weight:?}: {e}", idx + 1))?;
+        if path.is_empty() {
+            return Err(format!("line {}: empty stack in {line:?}", idx + 1));
+        }
+        stacks.push(FoldedStack {
+            frames: path.split(';').map(str::to_string).collect(),
+            weight,
+        });
+    }
+    Ok(stacks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack(frames: &[&str], weight: u64) -> FoldedStack {
+        FoldedStack {
+            frames: frames.iter().map(|f| f.to_string()).collect(),
+            weight,
+        }
+    }
+
+    #[test]
+    fn render_emits_one_line_per_stack_in_order() {
+        let text = render_folded(&[
+            stack(&["probe"], 10),
+            stack(&["probe", "lab", "packet_encode"], 7),
+        ]);
+        assert_eq!(text, "probe 10\nprobe;lab;packet_encode 7\n");
+    }
+
+    #[test]
+    fn roundtrip_preserves_frames_and_weights() {
+        let stacks = vec![
+            stack(&["probe"], 1),
+            stack(&["probe", "classify"], 0),
+            stack(&["record_intern"], u64::MAX),
+        ];
+        assert_eq!(parse_folded(&render_folded(&stacks)).unwrap(), stacks);
+    }
+
+    #[test]
+    fn hostile_frame_bytes_are_sanitized_so_output_parses() {
+        let text = render_folded(&[stack(&["a;b c\nd"], 3)]);
+        assert_eq!(text, "a_b_c_d 3\n");
+        assert_eq!(parse_folded(&text).unwrap(), vec![stack(&["a_b_c_d"], 3)]);
+    }
+
+    #[test]
+    fn empty_stacks_and_blank_lines_are_skipped() {
+        assert_eq!(render_folded(&[stack(&[], 9)]), "");
+        assert_eq!(parse_folded("\n  \n").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn parse_names_the_line_on_malformed_input() {
+        let err = parse_folded("probe 1\nnoweight").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_folded("probe x").unwrap_err();
+        assert!(err.contains("bad weight"), "{err}");
+        let err = parse_folded(" 5").unwrap_err();
+        assert!(err.contains("empty stack"), "{err}");
+    }
+}

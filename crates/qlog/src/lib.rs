@@ -17,11 +17,13 @@
 pub mod binary;
 pub mod chrome;
 pub mod events;
+pub mod folded;
 pub mod render;
 pub mod trace;
 
 pub use binary::{decode_trace, encode_trace, BinaryError};
 pub use chrome::{chrome_trace_events, ChromeArgs, ChromeEvent};
 pub use events::{EventData, LoggedEvent, PacketSpace};
+pub use folded::{parse_folded, render_folded, FoldedStack};
 pub use render::{render_timeline, timeline, TimelineRow};
 pub use trace::{QlogFile, TraceLog};

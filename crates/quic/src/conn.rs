@@ -161,6 +161,8 @@ pub struct ConnCounters {
     pub datagram_pool_hits: u64,
     /// Outgoing datagrams that needed a fresh allocation.
     pub datagram_pool_misses: u64,
+    /// Crypto and stream frames folded into reassembly buffers.
+    pub frames_reassembled: u64,
     /// Spin-bit edges observed on received 1-RTT packets.
     pub spin_edges: u64,
 }
@@ -541,6 +543,7 @@ impl Connection {
                 self.requeue_lost(space, outcome.lost_frames);
             }
             Frame::Crypto { offset, data } => {
+                self.counters.frames_reassembled += 1;
                 self.spaces[space_index(space)]
                     .crypto_in
                     .on_frame(0, offset, data, false);
@@ -552,6 +555,7 @@ impl Connection {
                 fin,
                 data,
             } => {
+                self.counters.frames_reassembled += 1;
                 self.streams.on_frame(id, offset, data, fin);
                 for readable in self.streams.readable() {
                     if let Some((data, fin)) = self.streams.read(readable) {
@@ -1071,6 +1075,21 @@ mod tests {
         server.handle_datagram(at(2), &d);
         server.handle_datagram(at(2), &d);
         assert_eq!(server.counters().packets_duplicate, 1);
+    }
+
+    #[test]
+    fn reassembly_counter_tracks_crypto_and_stream_frames() {
+        let (mut client, mut server) = pair();
+        pump(&mut client, &mut server, at(0));
+        // The handshake alone moves crypto frames both ways.
+        let hs = server.counters().frames_reassembled;
+        assert!(hs > 0, "handshake crypto frames must count");
+        client.send_stream(0, b"payload", true);
+        pump(&mut client, &mut server, at(5));
+        assert!(
+            server.counters().frames_reassembled > hs,
+            "stream frames must count on top of crypto frames"
+        );
     }
 
     #[test]

@@ -13,8 +13,13 @@ use crate::flight::{
     TRACE_STORE_VERSION,
 };
 use crate::record::ScanOutcome;
-use quicspin_qlog::{decode_trace, encode_trace, ChromeEvent, EventData, QlogFile, TraceLog};
-use quicspin_telemetry::{Metric, Registry, RunManifest, Stage, TimeSeriesDoc};
+use quicspin_qlog::{
+    decode_trace, encode_trace, parse_folded, render_folded, ChromeEvent, EventData, FoldedStack,
+    QlogFile, TraceLog,
+};
+use quicspin_telemetry::{
+    Metric, ProfileDoc, ProfileSnapshot, Registry, RunManifest, Stage, TimeSeriesDoc,
+};
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
 
@@ -35,6 +40,13 @@ pub const CHROME_TRACE_FILE_NAME: &str = "trace.json";
 
 /// File name of the on-path observer document (tapped campaigns only).
 pub const OBSERVER_FILE_NAME: &str = "observer.json";
+
+/// File name of the deterministic profiler document (profiled runs only).
+pub const PROFILE_FILE_NAME: &str = "profile.json";
+
+/// File name of the collapsed-stack flamegraph export (profiled runs
+/// only; load with `flamegraph.pl` or speedscope).
+pub const PROFILE_FOLDED_FILE_NAME: &str = "profile.folded";
 
 /// Collects every retained qlog trace of a campaign into one qlog file.
 /// Requires the campaign to have run with `keep_qlogs`.
@@ -183,6 +195,82 @@ pub fn read_observer(dir: &Path) -> std::io::Result<crate::observe::ObserverDoc>
         std::io::Error::new(
             ErrorKind::InvalidData,
             format!("corrupt observer doc {}: {e}", path.display()),
+        )
+    })
+}
+
+/// Writes a [`ProfileDoc`] as pretty-printed JSON named
+/// [`PROFILE_FILE_NAME`] inside `dir` (created if missing). The doc
+/// carries only the deterministic scope counts (enters / allocs /
+/// queue-ops — never wall time), so the file is byte-identical for any
+/// `--threads` on the streamed path. Returns the path written.
+pub fn write_profile(dir: &Path, doc: &ProfileDoc) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(PROFILE_FILE_NAME);
+    let json = serde_json::to_string_pretty(doc)
+        .map_err(|e| std::io::Error::other(format!("profile serialization failed: {e}")))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Reads the [`ProfileDoc`] back from `dir`, with the same descriptive
+/// error contract as [`read_run_manifest`].
+pub fn read_profile(dir: &Path) -> std::io::Result<ProfileDoc> {
+    let path = dir.join(PROFILE_FILE_NAME);
+    let json = std::fs::read_to_string(&path).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("cannot read profile {}: {e}", path.display()),
+        )
+    })?;
+    serde_json::from_str(&json).map_err(|e| {
+        std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("corrupt profile {}: {e}", path.display()),
+        )
+    })
+}
+
+/// Converts a profiler snapshot into collapsed flamegraph stacks: one
+/// stack per scope with nonzero wall-clock self-time, frames split on the
+/// scope path's `/` separators, weights in nanoseconds.
+pub fn profile_folded_stacks(snapshot: &ProfileSnapshot) -> Vec<FoldedStack> {
+    snapshot
+        .collapsed()
+        .into_iter()
+        .map(|(path, self_ns)| FoldedStack {
+            frames: path.split('/').map(str::to_string).collect(),
+            weight: self_ns,
+        })
+        .collect()
+}
+
+/// Writes collapsed flamegraph stacks named [`PROFILE_FOLDED_FILE_NAME`]
+/// inside `dir` (created if missing) — the `frame;frame weight` text
+/// format `flamegraph.pl` and speedscope load directly. Weights are wall
+/// clock, so (unlike `profile.json`) the bytes vary run to run. Returns
+/// the path written.
+pub fn write_profile_folded(dir: &Path, stacks: &[FoldedStack]) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(PROFILE_FOLDED_FILE_NAME);
+    std::fs::write(&path, render_folded(stacks))?;
+    Ok(path)
+}
+
+/// Reads the collapsed stacks back from `dir`, with the same descriptive
+/// error contract as [`read_run_manifest`].
+pub fn read_profile_folded(dir: &Path) -> std::io::Result<Vec<FoldedStack>> {
+    let path = dir.join(PROFILE_FOLDED_FILE_NAME);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("cannot read folded profile {}: {e}", path.display()),
+        )
+    })?;
+    parse_folded(&text).map_err(|e| {
+        std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("corrupt folded profile {}: {e}", path.display()),
         )
     })
 }
@@ -360,6 +448,49 @@ mod tests {
         assert_eq!(stripped.rtt_samples_us(), trace.rtt_samples_us());
         assert!(stripped.len() <= trace.len());
         assert!(!stripped.handshake_completed(), "lifecycle events stripped");
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("quicspin-artifacts-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn profile_roundtrips_and_errors_are_descriptive() {
+        use quicspin_telemetry::{ProfilerRegistry, ScopeId};
+        let reg = ProfilerRegistry::new();
+        let mut shard = reg.shard();
+        let p = shard.begin();
+        shard.enter_n(ScopeId::PacketEncode, 12);
+        shard.add_queue_ops(ScopeId::WheelPush, 7);
+        shard.end(ScopeId::Probe, p);
+        reg.absorb(&shard);
+        let snapshot = reg.snapshot();
+
+        let dir = temp_dir("profile");
+        let doc = snapshot.doc();
+        write_profile(&dir, &doc).unwrap();
+        assert_eq!(read_profile(&dir).unwrap(), doc);
+
+        let stacks = profile_folded_stacks(&snapshot);
+        assert!(stacks.iter().any(|s| s.frames == ["probe"]));
+        write_profile_folded(&dir, &stacks).unwrap();
+        assert_eq!(read_profile_folded(&dir).unwrap(), stacks);
+
+        let missing = temp_dir("profile-missing");
+        let err = read_profile(&missing).unwrap_err();
+        assert!(err.to_string().contains("cannot read profile"), "{err}");
+        std::fs::create_dir_all(&missing).unwrap();
+        std::fs::write(missing.join(PROFILE_FILE_NAME), "{not json").unwrap();
+        let err = read_profile(&missing).unwrap_err();
+        assert!(err.to_string().contains("corrupt profile"), "{err}");
+        std::fs::write(missing.join(PROFILE_FOLDED_FILE_NAME), "probe x").unwrap();
+        let err = read_profile_folded(&missing).unwrap_err();
+        assert!(err.to_string().contains("corrupt folded profile"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&missing);
     }
 
     #[test]

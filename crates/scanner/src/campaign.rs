@@ -14,8 +14,8 @@ use crate::record::{ConnectionRecord, ScanOutcome};
 use quicspin_core::{GreaseFilter, ObserverConfig};
 use quicspin_h3::MAX_REDIRECTS;
 use quicspin_telemetry::{
-    ConfigEntry, GaugeId, Metric, ProgressSnapshot, Registry, RunManifest, Stage, TimePoint,
-    TimeSeries, DEFAULT_TIMESERIES_CAPACITY,
+    ConfigEntry, GaugeId, Metric, ProfilerRegistry, ProgressSnapshot, Registry, RunManifest,
+    ScopeId, Stage, TimePoint, TimeSeries, DEFAULT_TIMESERIES_CAPACITY,
 };
 use quicspin_webpop::{IpVersion, Population};
 use std::collections::BTreeMap;
@@ -53,6 +53,13 @@ pub struct CampaignConfig {
     /// [`run_campaign_with_progress`](Scanner::run_campaign_with_progress))
     /// to collect metrics. Telemetry never changes the records produced.
     pub telemetry: Arc<Registry>,
+    /// Hierarchical cost profiler. Defaults to a disabled (no-op)
+    /// registry so unprofiled campaigns pay only a branch per scope
+    /// boundary; pass an enabled one to attribute probe cost to the
+    /// static scope tree (see [`quicspin_telemetry::ScopeId`]). The
+    /// profiler never changes the records produced, and its
+    /// deterministic counts are identical for any thread count.
+    pub profiler: Arc<ProfilerRegistry>,
     /// Flight-recorder configuration. Disabled by default; the
     /// [`run_campaign_flight`](Scanner::run_campaign_flight) family
     /// force-enables it. Detection never changes the records produced.
@@ -77,6 +84,7 @@ impl Default for CampaignConfig {
             grease: GreaseFilter::paper(),
             keep_qlogs: false,
             telemetry: Arc::new(Registry::disabled()),
+            profiler: Arc::new(ProfilerRegistry::disabled()),
             flight: FlightConfig::default(),
             tap: None,
         }
@@ -99,6 +107,9 @@ impl CampaignConfig {
             entry("jitter_frac", self.conditions.jitter_frac.to_string()),
             entry("keep_qlogs", self.keep_qlogs.to_string()),
         ];
+        if self.profiler.is_enabled() {
+            entries.push(entry("profile", "true".to_string()));
+        }
         if let Some(tap) = self.tap {
             entries.push(entry(
                 "tap_vantage_millionths",
@@ -391,6 +402,7 @@ impl<'p> Scanner<'p> {
             let reg = &*config.telemetry;
             let mut scratch = ProbeScratch::default();
             scratch.telemetry.set_enabled(reg.is_enabled());
+            scratch.profiler.set_enabled(config.profiler.is_enabled());
             let mut domain_records: Vec<ConnectionRecord> = Vec::new();
             let mut warm = false;
             loop {
@@ -417,10 +429,13 @@ impl<'p> Scanner<'p> {
                     self.scan_domain_into(id, config, &mut scratch, &mut domain_records);
                     scratch.telemetry.record_since(Stage::Probe, t);
                     note_domain_records(reg, &domain_records);
+                    let p = scratch.profiler.begin();
                     fold(&mut acc, &mut domain_records);
+                    scratch.profiler.end(ScopeId::RecordIntern, p);
                 }
                 out.push((batch, acc));
             }
+            config.profiler.absorb(&scratch.profiler);
             reg.absorb(&scratch.telemetry);
             reg.incr(Metric::WorkersFinished);
             std::mem::take(&mut scratch.flight)
@@ -553,7 +568,9 @@ impl<'p> Scanner<'p> {
                 self.scan_domain_into(id, config, scratch, domain_records);
                 scratch.telemetry.record_since(Stage::Probe, t);
                 note_domain_records(reg, domain_records);
+                let p = scratch.profiler.begin();
                 out.push_group(domain_records);
+                scratch.profiler.end(ScopeId::RecordIntern, p);
             }
         };
 
@@ -562,6 +579,7 @@ impl<'p> Scanner<'p> {
             // one columnar scratch batch across the whole sweep.
             let mut scratch = ProbeScratch::default();
             scratch.telemetry.set_enabled(reg.is_enabled());
+            scratch.profiler.set_enabled(config.profiler.is_enabled());
             let mut warm = false;
             let mut domain_records: Vec<ConnectionRecord> = Vec::new();
             let mut out = RecordBatch::new();
@@ -584,6 +602,7 @@ impl<'p> Scanner<'p> {
                 }
                 sink(&out);
             }
+            config.profiler.absorb(&scratch.profiler);
             reg.absorb(&scratch.telemetry);
             reg.incr(Metric::WorkersFinished);
             return std::mem::take(&mut scratch.flight);
@@ -613,6 +632,7 @@ impl<'p> Scanner<'p> {
             let reg = &*config.telemetry;
             let mut scratch = ProbeScratch::default();
             scratch.telemetry.set_enabled(reg.is_enabled());
+            scratch.profiler.set_enabled(config.profiler.is_enabled());
             let mut warm = false;
             let mut domain_records: Vec<ConnectionRecord> = Vec::new();
             loop {
@@ -635,6 +655,10 @@ impl<'p> Scanner<'p> {
                     &mut out,
                 );
                 let bytes = out.approx_bytes();
+                // Mailbox publish cost (lock + in-order queue handoff) is
+                // threaded-streamed-only machinery: the scope is marked
+                // non-deterministic and never reaches `profile.json`.
+                let p = scratch.profiler.begin();
                 let mut s = shared.lock().unwrap();
                 s.resident += bytes;
                 s.pending.insert(batch, (out, bytes));
@@ -644,7 +668,9 @@ impl<'p> Scanner<'p> {
                 }
                 drop(s);
                 ready.notify_one();
+                scratch.profiler.end(ScopeId::BatchMailbox, p);
             }
+            config.profiler.absorb(&scratch.profiler);
             reg.absorb(&scratch.telemetry);
             reg.incr(Metric::WorkersFinished);
             std::mem::take(&mut scratch.flight)
@@ -1299,6 +1325,57 @@ mod tests {
             .unwrap()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn profiled_campaign_counts_are_thread_count_invariant() {
+        // The deterministic half of the profile (enters / allocs /
+        // queue-ops per scope) is a pure function of the record stream,
+        // so the exported doc must serialize identically for 1 and 4
+        // workers on both the materializing and streamed paths.
+        let pop = tiny_pop();
+        let scanner = Scanner::new(&pop);
+        let doc = |threads: usize, streamed: bool| {
+            let prof = Arc::new(ProfilerRegistry::new());
+            let cfg = CampaignConfig {
+                threads,
+                tap: Some(0.25),
+                profiler: Arc::clone(&prof),
+                ..clean_config()
+            };
+            if streamed {
+                scanner.run_campaign_streamed(&cfg, 8 * 1024, |_| {});
+            } else {
+                scanner.run_campaign(&cfg);
+            }
+            serde_json::to_string_pretty(&prof.snapshot().doc()).unwrap()
+        };
+        let one = doc(1, false);
+        assert_eq!(one, doc(4, false));
+        assert_eq!(one, doc(1, true));
+        assert_eq!(one, doc(4, true));
+        let parsed: quicspin_telemetry::ProfileDoc = serde_json::from_str(&one).unwrap();
+        // Only domains that resolve and speak QUIC reach the probe scope;
+        // the record-intern sink fires once per domain regardless.
+        let probes = parsed.row("probe").expect("probe scope").enters;
+        assert!(probes > 0 && probes < pop.len() as u64);
+        assert_eq!(
+            parsed.row("record_intern").unwrap().enters,
+            pop.len() as u64
+        );
+        assert!(parsed.row("probe/lab/wheel_push").unwrap().queue_ops > 0);
+        assert!(parsed.row("probe/observer_fold/samples").unwrap().enters > 0);
+    }
+
+    #[test]
+    fn disabled_profiler_stays_empty_and_unechoed() {
+        let pop = tiny_pop();
+        let cfg = clean_config();
+        Scanner::new(&pop).run_campaign(&cfg);
+        assert!(!cfg.profiler.is_enabled());
+        let snap = cfg.profiler.snapshot();
+        assert!(snap.doc().scopes.iter().all(|s| s.enters == 0));
+        assert!(!cfg.config_entries().iter().any(|e| e.key == "profile"));
     }
 
     #[test]

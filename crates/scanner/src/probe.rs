@@ -8,7 +8,7 @@ use quicspin_netsim::{Rng, SimDuration};
 use quicspin_quic::{
     ConnectionLab, LabConfig, LabScratch, LabStats, ServerProfile, TransportConfig,
 };
-use quicspin_telemetry::{GaugeId, Metric, Stage, WorkerShard};
+use quicspin_telemetry::{GaugeId, Metric, ProfilerShard, ScopeId, Stage, WorkerShard};
 use quicspin_webpop::{ConnectionPlan, DomainRecord, IpVersion, WebServer};
 
 /// Reusable per-worker probe state.
@@ -29,6 +29,10 @@ pub struct ProbeScratch {
     lab: LabScratch,
     /// Worker-private telemetry buffer (see [`quicspin_telemetry`]).
     pub telemetry: WorkerShard,
+    /// Worker-private hierarchical profiler buffer. Enabled by profiled
+    /// campaigns alongside [`ProbeScratch::telemetry`]; when disabled the
+    /// scope points cost a branch and never read the clock.
+    pub profiler: ProfilerShard,
     /// When set (by a flight-recorder campaign), probes capture the client
     /// qlog trace on the record even if `keep_qlog` is off, so the
     /// recorder can inspect it. The campaign engine strips and recycles
@@ -112,6 +116,42 @@ fn note_lab_stats(shard: &mut WorkerShard, stats: &LabStats) {
     if stats.transfer_wall_ns > 0 {
         shard.record_ns(Stage::Transfer, stats.transfer_wall_ns);
     }
+}
+
+/// Maps one lab run's plain stats into the worker's profiler shard: the
+/// inner netsim/quic scopes are count-only (enters, allocation deltas,
+/// event-queue-op deltas), fed post hoc from counters the transport and
+/// path simulator already maintain — the hot path itself reads no clock
+/// for them. The lab's own handshake/transfer stopwatches supply the
+/// wall split inside the `probe/lab` scope.
+fn note_lab_profile(prof: &mut ProfilerShard, stats: &LabStats, established: bool) {
+    let path = &stats.path;
+    prof.enter_n(ScopeId::WheelPush, path.queue_pushes);
+    prof.add_queue_ops(ScopeId::WheelPush, path.queue_pushes);
+    prof.enter_n(ScopeId::WheelPop, path.queue_pops);
+    prof.add_queue_ops(ScopeId::WheelPop, path.queue_pops);
+    prof.enter_n(ScopeId::LinkDelivery, path.delivered);
+    for conn in [&stats.client, &stats.server] {
+        prof.enter_n(ScopeId::PacketEncode, conn.packets_sent);
+        prof.enter_n(
+            ScopeId::PacketDecode,
+            conn.packets_received + conn.packets_undecodable,
+        );
+        prof.enter_n(ScopeId::Reassembly, conn.frames_reassembled);
+        prof.enter_n(
+            ScopeId::DatagramPool,
+            conn.datagram_pool_hits + conn.datagram_pool_misses,
+        );
+        prof.add_allocs(ScopeId::DatagramPool, conn.datagram_pool_misses);
+    }
+    // Every lab run attempts a handshake; only established connections
+    // reach the transfer phase. Both facts are worker-count invariant.
+    prof.enter(ScopeId::LabHandshake);
+    if established {
+        prof.enter(ScopeId::LabTransfer);
+    }
+    prof.add_wall_ns(ScopeId::LabHandshake, stats.handshake_wall_ns);
+    prof.add_wall_ns(ScopeId::LabTransfer, stats.transfer_wall_ns);
 }
 
 /// Network conditions of the scan path (the part of the path shared by
@@ -217,6 +257,11 @@ pub fn probe_connection_scratch(
     keep_qlog: bool,
     scratch: &mut ProbeScratch,
 ) -> (ConnectionRecord, Option<Response>) {
+    // Profiler lap chain: one clock read per scope boundary, and none at
+    // all when profiling is off (begin/lap return None on a disabled
+    // shard). The inner netsim/quic scopes never read the clock — they
+    // are fed post hoc by `note_lab_profile`.
+    let p0 = scratch.profiler.begin();
     // Build the HTTP exchange for this hop.
     let request = Request::get(
         scratch.www_target(domain),
@@ -281,11 +326,22 @@ pub fn probe_connection_scratch(
         request: request.encode(),
         response_prefix: response.encode_header(),
         max_duration: SimDuration::from_secs(60),
-        // Only pay for phase wall-clocks when telemetry is live.
-        time_stages: scratch.telemetry.is_enabled(),
+        // Only pay for phase wall-clocks when telemetry or the profiler
+        // is live (the profiler splits probe/lab into handshake/transfer
+        // from the same stopwatches).
+        time_stages: scratch.telemetry.is_enabled() || scratch.profiler.is_enabled(),
     };
+    let p = scratch.profiler.lap(ScopeId::Plan, p0);
     let mut outcome = ConnectionLab::new(lab_cfg).run_with_scratch(&mut scratch.lab);
+    scratch.profiler.lap(ScopeId::Lab, p);
     note_lab_stats(&mut scratch.telemetry, &outcome.stats);
+    if scratch.profiler.is_enabled() {
+        note_lab_profile(
+            &mut scratch.profiler,
+            &outcome.stats,
+            outcome.handshake_completed,
+        );
+    }
 
     // Virtual-clock timings for the time-series layer, read off the client
     // qlog before it is (maybe) stripped below. These are simulated
@@ -321,6 +377,7 @@ pub fn probe_connection_scratch(
             queue_high_water,
             qlog,
         };
+        scratch.profiler.end(ScopeId::Probe, p0);
         scratch.lab.reclaim(outcome);
         return (record, None);
     }
@@ -332,8 +389,10 @@ pub fn probe_connection_scratch(
     // Back-to-back stages share clock reads: each lap's end timestamp is
     // the next stage's start.
     let t = scratch.telemetry.timer();
+    let p = scratch.profiler.begin();
     let observations = outcome.client_observations();
     let t = scratch.telemetry.record_lap(Stage::SpinExtraction, t);
+    let p = scratch.profiler.lap(ScopeId::SpinExtraction, p);
 
     let report = ObserverReport::build(
         &observations,
@@ -342,6 +401,7 @@ pub fn probe_connection_scratch(
         grease,
     );
     let t = scratch.telemetry.record_lap(Stage::Classify, t);
+    let p = scratch.profiler.lap(ScopeId::Classify, p);
 
     // On-path observation: narrow the tap capture through the observer's
     // privacy boundary (short-header bytes only) and keep the flow view
@@ -373,12 +433,18 @@ pub fn probe_connection_scratch(
         } else {
             Metric::ObserverFlowsUnmeasurable
         });
+        scratch
+            .profiler
+            .enter_n(ScopeId::ObserverSamples, stats.packets);
         crate::observe::ObserverView::new(position, stats, &report)
     });
-    let t = if scratch.tap_position.is_some() {
-        scratch.telemetry.record_lap(Stage::ObserverFold, t)
+    let (t, p) = if scratch.tap_position.is_some() {
+        (
+            scratch.telemetry.record_lap(Stage::ObserverFold, t),
+            scratch.profiler.lap(ScopeId::ObserverFold, p),
+        )
     } else {
-        t
+        (t, p)
     };
 
     let qlog = (keep_qlog || scratch.flight_inspect).then(|| {
@@ -394,6 +460,7 @@ pub fn probe_connection_scratch(
     });
     if keep_qlog {
         scratch.telemetry.record_since(Stage::QlogEncode, t);
+        scratch.profiler.lap(ScopeId::QlogEncode, p);
     }
 
     let record = ConnectionRecord {
@@ -413,6 +480,7 @@ pub fn probe_connection_scratch(
         queue_high_water,
         qlog,
     };
+    scratch.profiler.end(ScopeId::Probe, p0);
     scratch.lab.reclaim(outcome);
     (record, parsed)
 }
@@ -626,6 +694,67 @@ mod tests {
         );
         assert_eq!(view.stats.mean_us, view.client_spin_mean_us);
         assert_eq!(view.extra_edges(), 0);
+    }
+
+    #[test]
+    fn profiled_probe_populates_deterministic_scope_counts() {
+        let pop = population();
+        let d = first_quic(&pop);
+        let plan = pop.plan_connection(d.id, 0, IpVersion::V4, 0).unwrap();
+        let run = || {
+            let mut scratch = ProbeScratch {
+                tap_position: Some(0.5),
+                ..ProbeScratch::default()
+            };
+            scratch.profiler.set_enabled(true);
+            probe_connection_scratch(
+                d,
+                &plan,
+                0,
+                IpVersion::V4,
+                0,
+                &NetworkConditions::clean(),
+                ObserverConfig::default(),
+                GreaseFilter::paper(),
+                true,
+                &mut scratch,
+            );
+            scratch.profiler
+        };
+        let a = run();
+        let b = run();
+        for &s in ScopeId::ALL {
+            if s.deterministic() {
+                assert_eq!(a.enters(s), b.enters(s), "{} enters must repeat", s.path());
+            }
+        }
+        assert_eq!(a.enters(ScopeId::Probe), 1);
+        assert_eq!(a.enters(ScopeId::LabHandshake), 1);
+        assert_eq!(a.enters(ScopeId::LabTransfer), 1);
+        assert!(a.enters(ScopeId::WheelPush) > 0, "wheel pushes must count");
+        assert!(a.enters(ScopeId::PacketEncode) > 0);
+        assert!(a.enters(ScopeId::PacketDecode) > 0);
+        assert!(a.enters(ScopeId::Reassembly) > 0);
+        assert!(a.enters(ScopeId::DatagramPool) > 0);
+        assert!(a.enters(ScopeId::ObserverSamples) > 0);
+        assert!(a.wall_ns(ScopeId::Probe) > 0, "probe wall must be timed");
+        assert!(a.wall_ns(ScopeId::Lab) > 0, "lab wall must be timed");
+
+        // An unprofiled probe leaves the shard untouched.
+        let mut off = ProbeScratch::default();
+        probe_connection_scratch(
+            d,
+            &plan,
+            0,
+            IpVersion::V4,
+            0,
+            &NetworkConditions::clean(),
+            ObserverConfig::default(),
+            GreaseFilter::paper(),
+            false,
+            &mut off,
+        );
+        assert!(off.profiler.is_empty());
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //!   with `--bench`, two `BENCH_JSON` reports): virtual-latency p99
 //!   quantiles against a multiplicative band, error-rate drift, and
 //!   classification-mix drift. Exits 2 when a regression is found;
+//! * `spinctl profile <run>` — render a profiled run's hierarchical
+//!   cost attribution (`profile.json` + `profile.folded`): the
+//!   deterministic scope tree plus the top-N wall-clock self-time
+//!   ranking. `--diff` compares two runs' deterministic counts and
+//!   exits 2 past the band — the compare/trend workflow's per-scope
+//!   regression hunter;
 //! * `spinctl trend <dir>...` — tabulate campaign directories as a
 //!   per-week compliance view (the paper's Fig. 2 angle: how the
 //!   spin-participation mix moves across weekly sweeps).
@@ -38,17 +44,20 @@ use quicspin_core::reorder::ReorderComparison;
 use quicspin_core::{ObserverConfig, PacketObservation};
 use quicspin_qlog::render_timeline;
 use quicspin_scanner::{
-    chrome_trace_export, read_anomaly_index, read_flagged_trace, read_observer, read_run_manifest,
-    read_timeseries, write_chrome_trace, write_flight_recording, write_observer,
-    write_run_manifest, write_timeseries, AnomalyIndex, AnomalyKind, CampaignConfig, FlightConfig,
-    ObserverDocBuilder, ProbeId, RunManifest, Scanner, TimeSeriesBuilder, TimeSeriesDoc,
+    chrome_trace_export, profile_folded_stacks, read_anomaly_index, read_flagged_trace,
+    read_observer, read_profile, read_profile_folded, read_run_manifest, read_timeseries,
+    write_chrome_trace, write_flight_recording, write_observer, write_profile,
+    write_profile_folded, write_run_manifest, write_timeseries, AnomalyIndex, AnomalyKind,
+    CampaignConfig, FlightConfig, ObserverDocBuilder, ProbeId, RunManifest, Scanner,
+    TimeSeriesBuilder, TimeSeriesDoc, OBSERVER_FILE_NAME,
 };
-use quicspin_telemetry::DEFAULT_TIMESERIES_CAPACITY;
+use quicspin_telemetry::{ProfileDoc, ProfilerRegistry, ScopeId, DEFAULT_TIMESERIES_CAPACITY};
 use quicspin_webpop::{Population, PopulationConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Default artifact directory when `--dir` is not given.
@@ -69,19 +78,25 @@ const ERROR_RATE_DRIFT: f64 = 0.02;
 /// regressed.
 const BENCH_FLOOR_NS: u64 = 1_000;
 
+/// Minimum absolute growth before a deterministic profile count can
+/// count as regressed in `profile --diff`; filters tiny-scope noise.
+const PROFILE_COUNT_FLOOR: u64 = 1_000;
+
 const USAGE: &str = "\
 spinctl — QUIC spin-bit campaign flight recorder
 
 USAGE:
     spinctl run       [--dir DIR] [--domains N] [--seed S] [--threads T]
                       [--budget-bytes B] [--record-budget B] [--sample-every K]
-                      [--loss P] [--tap P]
+                      [--loss P] [--tap P] [--profile]
     spinctl observe   [--dir DIR] [--limit N]
     spinctl summary   [--dir DIR]
     spinctl anomalies [--dir DIR] [--kind KIND] [--limit N]
     spinctl trace     (<probe-id> | --first) [--dir DIR]
     spinctl compare   <run-a> <run-b> [--p99-band X] [--mix-drift D]
     spinctl compare   --bench <a.json> <b.json> [--bench-band X]
+    spinctl profile   <run> [--top N]
+    spinctl profile   --diff <run-a> <run-b> [--count-band X]
     spinctl trend     <dir> [<dir> ...]
 
 `run` sweeps a synthetic population over the streamed, bounded-memory
@@ -98,8 +113,14 @@ of the path, next to the client's own spin and stack means.
 a multiplicative band (default 1.25), error-rate drift, and
 classification-mix drift (default 0.02) — or, with --bench, two
 BENCH_JSON benchmark reports (band default 1.50). It exits 2 when it
-finds a regression. `trend` tabulates campaign directories by week as a
-spin-compliance view.
+finds a regression. `run --profile` attributes probe cost to a static
+scope tree and additionally writes profile.json (deterministic counts;
+byte-identical for any --threads) and profile.folded (collapsed wall
+self-time stacks; load in speedscope or flamegraph.pl). `profile`
+renders the scope tree plus the top-N self-time ranking; with --diff
+it compares two runs' deterministic counts against a multiplicative
+band (default 1.25) and exits 2 past it. `trend` tabulates campaign
+directories by week as a spin-compliance view.
 `<probe-id>` is `domain` or `domain:hop`, as printed by `anomalies`.
 KIND is one of: rtt-divergence, invalid-spin-edge, classification-flip,
 handshake-failure, stage-outlier, baseline-sample, observer-divergence,
@@ -123,6 +144,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
         "anomalies" => cmd_anomalies(rest, out).map(|()| 0),
         "trace" => cmd_trace(rest, out).map(|()| 0),
         "compare" => cmd_compare(rest, out),
+        "profile" => cmd_profile(rest, out),
         "trend" => cmd_trend(rest, out).map(|()| 0),
         "help" | "--help" | "-h" => {
             write!(out, "{USAGE}").map_err(|e| e.to_string())?;
@@ -226,7 +248,7 @@ fn load_run(dir: &Path) -> Result<RunArtifacts, String> {
 // ---------------------------------------------------------------------------
 
 fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
-    let args = ParsedArgs::parse(args, &[])?;
+    let args = ParsedArgs::parse(args, &["profile"])?;
     args.ensure_known(&[
         "dir",
         "domains",
@@ -265,6 +287,9 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         flight,
         ..CampaignConfig::default()
     };
+    if args.has("profile") {
+        config.profiler = Arc::new(ProfilerRegistry::new());
+    }
     config.conditions.loss = args.get_parsed("loss", config.conditions.loss)?;
     if !(0.0..1.0).contains(&config.conditions.loss) {
         return Err(format!(
@@ -367,6 +392,23 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             observer_path.display(),
             doc.flows.len(),
             doc.vantage(),
+        ))?;
+    }
+    if config.profiler.is_enabled() {
+        let snapshot = config.profiler.snapshot();
+        let doc = snapshot.doc();
+        let profile_path = write_profile(&dir, &doc).map_err(|e| e.to_string())?;
+        let stacks = profile_folded_stacks(&snapshot);
+        let folded_path = write_profile_folded(&dir, &stacks).map_err(|e| e.to_string())?;
+        w(format!(
+            "wrote {} ({} deterministic scopes)",
+            profile_path.display(),
+            doc.scopes.len(),
+        ))?;
+        w(format!(
+            "wrote {} ({} stacks; load in speedscope or flamegraph.pl)",
+            folded_path.display(),
+            stacks.len(),
         ))?;
     }
     Ok(())
@@ -559,6 +601,26 @@ fn cmd_summary(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "netsim_queue_high_water",
         manifest.counter("netsim_queue_high_water"),
     );
+
+    // Pre-tap run directories (and --tap off runs) have no
+    // observer.json: skip the section rather than failing the summary.
+    if dir.join(OBSERVER_FILE_NAME).exists() {
+        let doc = read_observer(&dir).map_err(|e| e.to_string())?;
+        let cell = |v: Option<u64>| v.map_or("-".to_string(), |v| v.to_string());
+        let _ = writeln!(
+            text,
+            "\non-path observer (tap at {:.3} of the client->server path):",
+            doc.vantage()
+        );
+        let _ = writeln!(
+            text,
+            "  {} flows observed, {} measurable; mean RTT (µs): observer {}, client spin {}",
+            doc.summary.flows,
+            doc.summary.measurable,
+            cell(doc.summary.observer_mean_us),
+            cell(doc.summary.client_mean_us),
+        );
+    }
 
     let _ = writeln!(text, "\n{}", manifest.summary_table());
     write!(out, "{text}").map_err(|e| e.to_string())
@@ -1005,6 +1067,194 @@ fn compare_bench(
 }
 
 // ---------------------------------------------------------------------------
+// spinctl profile
+// ---------------------------------------------------------------------------
+
+fn cmd_profile(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let args = ParsedArgs::parse(args, &["diff"])?;
+    args.ensure_known(&["top", "count-band"])?;
+    if args.has("diff") {
+        if args.positional.len() != 2 {
+            return Err(format!(
+                "profile --diff needs exactly two runs (got {})\n\n{USAGE}",
+                args.positional.len()
+            ));
+        }
+        let band: f64 = args.get_parsed("count-band", 1.25)?;
+        let a = PathBuf::from(&args.positional[0]);
+        let b = PathBuf::from(&args.positional[1]);
+        profile_diff(&a, &b, band, out)
+    } else {
+        if args.positional.len() != 1 {
+            return Err(format!(
+                "profile needs one campaign directory (or --diff with two)\n\n{USAGE}"
+            ));
+        }
+        let top: usize = args.get_parsed("top", 10)?;
+        let dir = PathBuf::from(&args.positional[0]);
+        profile_render(&dir, top, out).map(|()| 0)
+    }
+}
+
+fn load_profile(dir: &Path) -> Result<ProfileDoc, String> {
+    read_profile(dir).map_err(|e| format!("{e} (run `spinctl run --profile --dir ...` first?)"))
+}
+
+fn profile_render(dir: &Path, top: usize, out: &mut dyn Write) -> Result<(), String> {
+    let doc = load_profile(dir)?;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "profile for {} (schema v{})",
+        dir.display(),
+        doc.schema_version
+    );
+
+    let _ = writeln!(
+        text,
+        "\nscope tree (deterministic counts; identical for any --threads):"
+    );
+    let _ = writeln!(
+        text,
+        "  {:<36} {:>12} {:>12} {:>12}",
+        "scope", "enters", "allocs", "queue_ops"
+    );
+    for scope in ScopeId::ALL {
+        let Some(row) = doc.row(scope.path()) else {
+            continue;
+        };
+        let label = format!("{}{}", "  ".repeat(scope.depth()), scope.name());
+        let _ = writeln!(
+            text,
+            "  {:<36} {:>12} {:>12} {:>12}",
+            label, row.enters, row.allocs, row.queue_ops
+        );
+    }
+
+    // The wall-clock weights live only in profile.folded (profile.json
+    // stays deterministic); an older or partial run without it still
+    // gets a ranking, just by enter counts.
+    match read_profile_folded(dir) {
+        Ok(mut stacks) => {
+            let total: u64 = stacks.iter().map(|s| s.weight).sum::<u64>().max(1);
+            stacks.sort_by(|x, y| {
+                y.weight
+                    .cmp(&x.weight)
+                    .then_with(|| x.frames.cmp(&y.frames))
+            });
+            let _ = writeln!(
+                text,
+                "\ntop {} self-time (wall clock, from profile.folded):",
+                top.min(stacks.len())
+            );
+            for (i, s) in stacks.iter().take(top).enumerate() {
+                let _ = writeln!(
+                    text,
+                    "  {:>2}. {:<36} {:>12} ns {:>5.1}%",
+                    i + 1,
+                    s.frames.join("/"),
+                    s.weight,
+                    100.0 * s.weight as f64 / total as f64,
+                );
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            let mut rows: Vec<_> = doc.scopes.iter().filter(|r| r.enters > 0).collect();
+            rows.sort_by(|x, y| y.enters.cmp(&x.enters).then_with(|| x.path.cmp(&y.path)));
+            let _ = writeln!(
+                text,
+                "\nno profile.folded next to profile.json; top {} scopes by enters:",
+                top.min(rows.len())
+            );
+            for (i, r) in rows.iter().take(top).enumerate() {
+                let _ = writeln!(text, "  {:>2}. {:<36} {:>12}", i + 1, r.path, r.enters);
+            }
+        }
+        Err(e) => return Err(e.to_string()),
+    }
+    write!(out, "{text}").map_err(|e| e.to_string())
+}
+
+fn profile_diff(a_dir: &Path, b_dir: &Path, band: f64, out: &mut dyn Write) -> Result<i32, String> {
+    let a = load_profile(a_dir)?;
+    let b = load_profile(b_dir)?;
+    let mut text = String::new();
+    let mut regressions: Vec<String> = Vec::new();
+    let _ = writeln!(
+        text,
+        "comparing deterministic profiles {} (a) vs {} (b)",
+        a_dir.display(),
+        b_dir.display()
+    );
+    let _ = writeln!(
+        text,
+        "count gate: > a×{band:.2} and ≥ a+{PROFILE_COUNT_FLOOR}"
+    );
+    let _ = writeln!(
+        text,
+        "  {:<36} {:>12} {:>12} {:>12}  verdict",
+        "scope", "a enters", "b enters", "delta"
+    );
+    let mut paths: Vec<&str> = a.scopes.iter().map(|r| r.path.as_str()).collect();
+    for r in &b.scopes {
+        if !paths.contains(&r.path.as_str()) {
+            paths.push(r.path.as_str());
+        }
+    }
+    let count_regressed =
+        |av: u64, bv: u64| bv as f64 > av as f64 * band && bv >= av + PROFILE_COUNT_FLOOR;
+    for path in paths {
+        let zero = (0u64, 0u64, 0u64);
+        let counts = |doc: &ProfileDoc| {
+            doc.row(path)
+                .map_or(zero, |r| (r.enters, r.allocs, r.queue_ops))
+        };
+        let (ae, aa, aq) = counts(&a);
+        let (be, ba, bq) = counts(&b);
+        let mut bad: Vec<&str> = Vec::new();
+        if count_regressed(ae, be) {
+            bad.push("enters");
+        }
+        if count_regressed(aa, ba) {
+            bad.push("allocs");
+        }
+        if count_regressed(aq, bq) {
+            bad.push("queue_ops");
+        }
+        let verdict = if bad.is_empty() {
+            "ok".to_string()
+        } else {
+            for metric in &bad {
+                regressions.push(format!("{path}:{metric}"));
+            }
+            format!("REGRESSED ({})", bad.join(", "))
+        };
+        let _ = writeln!(
+            text,
+            "  {:<36} {:>12} {:>12} {:>+12}  {verdict}",
+            path,
+            ae,
+            be,
+            be as i64 - ae as i64,
+        );
+    }
+    if regressions.is_empty() {
+        let _ = writeln!(text, "\nno regressions detected");
+        write!(out, "{text}").map_err(|e| e.to_string())?;
+        Ok(0)
+    } else {
+        let _ = writeln!(
+            text,
+            "\n{} regression(s) detected: {}",
+            regressions.len(),
+            regressions.join(", ")
+        );
+        write!(out, "{text}").map_err(|e| e.to_string())?;
+        Ok(EXIT_REGRESSIONS)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // spinctl trend
 // ---------------------------------------------------------------------------
 
@@ -1033,8 +1283,16 @@ fn cmd_trend(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             .find(|e| e.key == "week")
             .and_then(|e| e.value.parse().ok())
             .unwrap_or(0);
+        // Pre-tap run directories lack observer.json; show "-" for the
+        // observer column instead of failing the whole table.
+        let observed = if dir.join(OBSERVER_FILE_NAME).exists() {
+            let doc = read_observer(&dir).map_err(|e| e.to_string())?;
+            doc.summary.measurable.to_string()
+        } else {
+            "-".to_string()
+        };
         let row = format!(
-            "  {:>4} {:>8} {:>7.1}% {:>7.1}% {:>7.1}% {:>10} {:>10}  {}",
+            "  {:>4} {:>8} {:>7.1}% {:>7.1}% {:>7.1}% {:>10} {:>10} {:>8}  {}",
             week,
             point.probes,
             point.error_rate() * 100.0,
@@ -1042,6 +1300,7 @@ fn cmd_trend(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             point.mix_share("greased") * 100.0,
             point.handshake_p99_us,
             point.total_p99_us,
+            observed,
             run.series.campaign_id,
         );
         rows.push((week, run.series.campaign_id.clone(), row));
@@ -1050,8 +1309,8 @@ fn cmd_trend(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     writeln!(out, "campaign trend ({} runs):", rows.len()).map_err(|e| e.to_string())?;
     writeln!(
         out,
-        "  {:>4} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10}  campaign",
-        "week", "probes", "err", "spin", "grease", "hs_p99", "tot_p99"
+        "  {:>4} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10} {:>8}  campaign",
+        "week", "probes", "err", "spin", "grease", "hs_p99", "tot_p99", "obs"
     )
     .map_err(|e| e.to_string())?;
     for (_, _, row) in &rows {
@@ -1127,12 +1386,15 @@ mod tests {
             vec!["compare", missing, missing],
             vec!["trend", missing],
             vec!["observe", "--dir", missing],
+            vec!["profile", missing],
+            vec!["profile", "--diff", missing, missing],
         ] {
             let err = run_str(&cmd).unwrap_err();
             assert!(
                 err.contains("anomalies.json")
                     || err.contains("metrics.json")
-                    || err.contains("observer.json"),
+                    || err.contains("observer.json")
+                    || err.contains("profile.json"),
                 "{cmd:?}: {err}"
             );
             assert!(
@@ -1169,6 +1431,11 @@ mod tests {
         std::fs::write(dir.join("observer.json"), "{\"schema_version\":").unwrap();
         let err = run_str(&["observe", "--dir", dir_s]).unwrap_err();
         assert!(err.contains("observer.json"), "err: {err}");
+        assert!(!err.trim().contains('\n'), "err spans lines: {err}");
+
+        std::fs::write(dir.join("profile.json"), "{\"schema_version\":").unwrap();
+        let err = run_str(&["profile", dir_s]).unwrap_err();
+        assert!(err.contains("profile.json"), "err: {err}");
         assert!(!err.trim().contains('\n'), "err spans lines: {err}");
 
         let _ = std::fs::remove_dir_all(&dir);
@@ -1265,6 +1532,7 @@ mod tests {
                 threads,
                 "--record-budget",
                 "16384",
+                "--profile",
             ])
             .unwrap();
         }
@@ -1275,6 +1543,7 @@ mod tests {
             "traces.bin",
             "trace.json",
             "observer.json",
+            "profile.json",
         ] {
             assert_eq!(
                 read(&dir_a, artifact),
@@ -1287,6 +1556,10 @@ mod tests {
             serde_json::to_string_pretty(&m).unwrap()
         };
         assert_eq!(view(&dir_a), view(&dir_b));
+        // The wall-clock half of the profile rides in profile.folded —
+        // present, parseable, but not byte-compared across thread counts.
+        assert!(dir_a.join("profile.folded").is_file());
+        assert!(!read_profile_folded(&dir_a).unwrap().is_empty());
 
         let summary = run_str(&["summary", "--dir", dir_a.to_str().unwrap()]).unwrap();
         assert!(summary.contains("resource gauges"), "out: {summary}");
@@ -1364,6 +1637,102 @@ mod tests {
         assert!(trend.contains("week0-V4-seed"), "out: {trend}");
 
         let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn profile_cycle_renders_tree_and_self_diff_is_clean() {
+        let dir = temp_dir("profile-cycle");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap();
+        let ran = run_str(&[
+            "run",
+            "--dir",
+            dir_s,
+            "--domains",
+            "220",
+            "--seed",
+            "9",
+            "--profile",
+        ])
+        .unwrap();
+        assert!(ran.contains("profile.json"), "out: {ran}");
+        assert!(ran.contains("profile.folded"), "out: {ran}");
+        assert!(ran.contains("speedscope"), "out: {ran}");
+
+        let rendered = run_str(&["profile", dir_s, "--top", "5"]).unwrap();
+        assert!(rendered.contains("scope tree"), "out: {rendered}");
+        assert!(rendered.contains("probe"), "out: {rendered}");
+        assert!(rendered.contains("wheel_push"), "out: {rendered}");
+        assert!(rendered.contains("top 5 self-time"), "out: {rendered}");
+
+        let (code, diff) = run_code(&["profile", "--diff", dir_s, dir_s]).unwrap();
+        assert_eq!(code, 0, "self-diff must be clean: {diff}");
+        assert!(diff.contains("no regressions detected"), "out: {diff}");
+
+        // Without profile.folded the ranking falls back to enter counts
+        // instead of failing.
+        std::fs::remove_file(dir.join("profile.folded")).unwrap();
+        let rendered = run_str(&["profile", dir_s]).unwrap();
+        assert!(rendered.contains("by enters"), "out: {rendered}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profile_diff_flags_inflated_counts() {
+        use quicspin_telemetry::{ProfileScopeRow, PROFILE_SCHEMA_VERSION};
+        let base = temp_dir("profile-diff");
+        let _ = std::fs::remove_dir_all(&base);
+        let doc = |enters: u64| ProfileDoc {
+            schema_version: PROFILE_SCHEMA_VERSION,
+            scopes: vec![ProfileScopeRow {
+                path: "probe/lab/packet_encode".to_string(),
+                enters,
+                allocs: 0,
+                queue_ops: 0,
+            }],
+        };
+        let dir_a = base.join("a");
+        let dir_b = base.join("b");
+        write_profile(&dir_a, &doc(10_000)).unwrap();
+        write_profile(&dir_b, &doc(40_000)).unwrap();
+        let a = dir_a.to_str().unwrap();
+        let b = dir_b.to_str().unwrap();
+        let (code, out) = run_code(&["profile", "--diff", a, b]).unwrap();
+        assert_eq!(code, EXIT_REGRESSIONS, "4x enters must regress: {out}");
+        assert!(out.contains("packet_encode"), "out: {out}");
+        assert!(out.contains("enters"), "out: {out}");
+        // Within the band (and below the floor growth) stays clean.
+        let (code, out) = run_code(&["profile", "--diff", b, a]).unwrap();
+        assert_eq!(code, 0, "shrinking counts are not a regression: {out}");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn summary_and_trend_tolerate_runs_without_observer_json() {
+        let dir = temp_dir("no-observer");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap();
+        run_str(&["run", "--dir", dir_s, "--domains", "200", "--seed", "9"]).unwrap();
+
+        // With the tap's artifact present, both views show the observer.
+        let summary = run_str(&["summary", "--dir", dir_s]).unwrap();
+        assert!(summary.contains("on-path observer"), "out: {summary}");
+        let trend = run_str(&["trend", dir_s]).unwrap();
+        let obs_cell = trend.lines().last().unwrap().split_whitespace().nth(7);
+        assert_ne!(obs_cell, Some("-"), "out: {trend}");
+
+        // A pre-tap run directory simply lacks observer.json: the views
+        // must skip the observer parts, not fail.
+        std::fs::remove_file(dir.join("observer.json")).unwrap();
+        let summary = run_str(&["summary", "--dir", dir_s]).unwrap();
+        assert!(!summary.contains("on-path observer"), "out: {summary}");
+        assert!(summary.contains("campaign run manifest"), "out: {summary}");
+        let trend = run_str(&["trend", dir_s]).unwrap();
+        let obs_cell = trend.lines().last().unwrap().split_whitespace().nth(7);
+        assert_eq!(obs_cell, Some("-"), "out: {trend}");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

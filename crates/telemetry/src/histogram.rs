@@ -559,6 +559,68 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_on_empty_shard_are_all_zero() {
+        let shard = HistogramShard::default();
+        for q in [0.50, 0.90, 0.99] {
+            assert_eq!(shard.quantile(q), 0, "p{q} of an empty shard");
+        }
+        let atomic = LatencyHistogram::default();
+        for q in [0.50, 0.90, 0.99] {
+            assert_eq!(atomic.to_shard().quantile(q), 0);
+        }
+        let snap = atomic.snapshot("empty");
+        assert_eq!((snap.p50_ns, snap.p90_ns, snap.p99_ns), (0, 0, 0));
+    }
+
+    #[test]
+    fn percentiles_of_a_single_sample_are_the_sample() {
+        // With one sample every rank clamps to 1, and the bucket's upper
+        // bound clamps to the exactly-tracked min == max == the sample.
+        for value in [0u64, 1, 777, 1_000_000, u64::MAX] {
+            let mut shard = HistogramShard::default();
+            shard.record(value);
+            for q in [0.0, 0.50, 0.90, 0.99, 1.0] {
+                assert_eq!(shard.quantile(q), value, "p{q} of single {value}");
+            }
+            let atomic = LatencyHistogram::default();
+            atomic.record(value);
+            let snap = atomic.snapshot("one");
+            assert_eq!(
+                (snap.p50_ns, snap.p90_ns, snap.p99_ns),
+                (value, value, value)
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_with_all_samples_in_one_bucket_clamp_to_the_range() {
+        // 1000 and 1020 share a log-scale bucket (~6% resolution). Every
+        // quantile must land inside the true [min, max] — the bucket's
+        // nominal upper bound would overshoot without the clamp.
+        let (lo, hi) = (1_000u64, 1_020u64);
+        assert_eq!(bucket_index(lo), bucket_index(hi), "one bucket");
+        let mut shard = HistogramShard::default();
+        let atomic = LatencyHistogram::default();
+        for i in 0..100u64 {
+            let v = lo + (i % 2) * (hi - lo);
+            shard.record(v);
+            atomic.record(v);
+        }
+        assert_eq!(shard.occupied_buckets(), 1);
+        for q in [0.50, 0.90, 0.99] {
+            let est = shard.quantile(q);
+            assert!(
+                (lo..=hi).contains(&est),
+                "p{q} = {est} escapes [{lo}, {hi}]"
+            );
+            assert_eq!(atomic.to_shard().quantile(q), est);
+        }
+        // All quantiles collapse to one value: the degenerate-shape
+        // signal occupied_buckets() exists to flag.
+        assert_eq!(shard.quantile(0.50), shard.quantile(0.99));
+    }
+
+    #[test]
     fn atomic_merge_shard_accumulates() {
         let atomic = LatencyHistogram::default();
         let mut a = HistogramShard::default();

@@ -17,6 +17,10 @@
 //! * [`Registry`] — the shared store workers shard into
 //!   ([`Registry::shard`]) and merge back out of ([`Registry::absorb`]).
 //!   [`Registry::disabled`] is a no-op mode whose cost is a branch.
+//! * [`ProfilerRegistry`] / [`ProfilerShard`] — hierarchical per-probe
+//!   cost profiler over a static [`ScopeId`] tree: deterministic counts
+//!   export as `profile.json` ([`ProfileDoc`]), wall self-time as
+//!   collapsed flamegraph stacks.
 //! * [`RunManifest`] — serde-serializable export (config echo, wall time,
 //!   counters, per-stage histograms) written as `metrics.json`, plus
 //!   [`ProgressSnapshot`] for periodic `probes/sec | eta | errors` lines.
@@ -32,6 +36,7 @@
 pub mod histogram;
 pub mod manifest;
 pub mod metrics;
+pub mod profiler;
 pub mod registry;
 pub mod span;
 pub mod timeseries;
@@ -42,6 +47,10 @@ pub use manifest::{
     MANIFEST_SCHEMA_VERSION,
 };
 pub use metrics::{Counter, Gauge, GaugeId, Metric, Stage};
+pub use profiler::{
+    ProfileDoc, ProfileScopeRow, ProfileSnapshot, ProfilerRegistry, ProfilerShard, ScopeCost,
+    ScopeId, ScopeInfo, MAX_SCOPE_DEPTH, PROFILE_SCHEMA_VERSION,
+};
 pub use registry::{Registry, WorkerShard};
 pub use span::Span;
 pub use timeseries::{

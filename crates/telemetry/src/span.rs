@@ -98,4 +98,64 @@ mod tests {
         assert!(!span.is_recording());
         assert_eq!(span.finish(), 0);
     }
+
+    #[test]
+    fn nested_spans_drop_inner_first_and_outer_covers_inner() {
+        // Lexical nesting drops in reverse creation order: the inner span
+        // records first, and the outer span's elapsed time must cover the
+        // inner's, since the outer was started earlier and dropped later.
+        let outer_hist = LatencyHistogram::default();
+        let inner_hist = LatencyHistogram::default();
+        {
+            let _outer = Span::start(&outer_hist);
+            {
+                let _inner = Span::start(&inner_hist);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            assert_eq!(inner_hist.count(), 1, "inner records at its own brace");
+            assert_eq!(outer_hist.count(), 0, "outer still running");
+        }
+        assert_eq!(outer_hist.count(), 1);
+        assert!(
+            outer_hist.to_shard().max() >= inner_hist.to_shard().max(),
+            "outer {} < inner {}",
+            outer_hist.to_shard().max(),
+            inner_hist.to_shard().max(),
+        );
+    }
+
+    #[test]
+    fn overlapping_spans_on_one_histogram_record_independently() {
+        // Two live spans over the same histogram do not interfere: each
+        // carries its own start instant, finishing one leaves the other
+        // recording, and explicit finish order can invert drop order.
+        let hist = LatencyHistogram::default();
+        let first = Span::start(&hist);
+        let second = Span::start(&hist);
+        assert!(first.is_recording() && second.is_recording());
+        let first_ns = first.finish();
+        assert_eq!(hist.count(), 1, "second span must still be live");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let second_ns = second.finish();
+        assert_eq!(hist.count(), 2);
+        assert!(
+            second_ns >= first_ns,
+            "second span ran longer: {second_ns} < {first_ns}"
+        );
+        assert_eq!(hist.to_shard().max(), hist.to_shard().quantile(1.0));
+    }
+
+    #[test]
+    fn overlapping_drop_and_finish_never_double_record() {
+        // A span consumed by finish() must not record again when its
+        // scope unwinds, even with another span dropping around it.
+        let hist = LatencyHistogram::default();
+        {
+            let _dropped = Span::start(&hist);
+            let finished = Span::start(&hist);
+            assert!(finished.finish() < u64::MAX);
+            assert_eq!(hist.count(), 1);
+        }
+        assert_eq!(hist.count(), 2);
+    }
 }

@@ -3,7 +3,8 @@
 #
 # `--scale` additionally runs the zone-scale smoke: the event-queue
 # scheduler microbenchmark gated against the committed baseline
-# (BENCH_EVENT_QUEUE.json), and a 100k-domain streamed sweep that must
+# (BENCH_EVENT_QUEUE.json), the profiler benches against theirs
+# (BENCH_PROFILE.json), and a 100k-domain streamed sweep that must
 # stay inside its resident-record-byte budget.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -63,6 +64,51 @@ fi
 cargo run --release -p quicspin-spinctl --bin spinctl -- \
   trend "$SPINCTL_DIR/a" "$SPINCTL_DIR/b" "$SPINCTL_DIR/c"
 
+# Profiler smoke: a profiled run writes profile.json + profile.folded,
+# `spinctl profile` parses and renders the scope tree, and a self-diff
+# is always clean.
+cargo run --release -p quicspin-spinctl --bin spinctl -- \
+  run --dir "$SPINCTL_DIR/p" --domains 220 --seed 7 --sample-every 16 --profile
+test -s "$SPINCTL_DIR/p/profile.json"
+test -s "$SPINCTL_DIR/p/profile.folded"
+cargo run --release -p quicspin-spinctl --bin spinctl -- \
+  profile "$SPINCTL_DIR/p" --top 8
+cargo run --release -p quicspin-spinctl --bin spinctl -- \
+  profile --diff "$SPINCTL_DIR/p" "$SPINCTL_DIR/p"
+
+# Overhead gate: the profiler must stay inside its 3% per-probe budget.
+# The probe_profiled bench interleaves the profiled and unprofiled case
+# in one process and its min_ns is each case's noise floor. Timing
+# noise on a shared container only ever *adds* time (heavy positive
+# tails; sweep wall clocks vary ±20% run to run), so the best ratio
+# across attempts is the honest overhead estimate: a real regression —
+# e.g. a clock read added to a per-packet scope — shifts every attempt
+# past the band, a scheduler fluke only some. Pass on the first attempt
+# within the band, fail only if all five exceed it.
+probe_overhead_ok() {
+  BENCH_JSON="$SPINCTL_DIR/probe.json" \
+    cargo bench -q -p quicspin-bench --bench profiler -- probe_profiled
+  OFF=$(sed -n 's/.*"probe_profiled\/off".*"min_ns": \([0-9]*\).*/\1/p' \
+    "$SPINCTL_DIR/probe.json")
+  ON=$(sed -n 's/.*"probe_profiled\/on".*"min_ns": \([0-9]*\).*/\1/p' \
+    "$SPINCTL_DIR/probe.json")
+  echo "profiler overhead: probe unprofiled=${OFF}ns profiled=${ON}ns"
+  [ -n "$OFF" ] && [ -n "$ON" ] \
+    && awk -v off="$OFF" -v on="$ON" 'BEGIN { exit !(on <= off * 1.03) }'
+}
+OVERHEAD_OK=0
+for attempt in 1 2 3 4 5; do
+  if probe_overhead_ok; then
+    OVERHEAD_OK=1
+    break
+  fi
+  echo "profiler overhead gate attempt $attempt outside the band; retrying"
+done
+if [ "$OVERHEAD_OK" != 1 ]; then
+  echo "ERROR: profiled probe exceeds the 3% overhead budget" >&2
+  exit 1
+fi
+
 if [ "$SCALE" = 1 ]; then
   # Scheduler gate: re-time the event-queue microbench (capped at 10^6
   # events to keep the gate short; the committed baseline covers 10^7
@@ -73,6 +119,16 @@ if [ "$SCALE" = 1 ]; then
     cargo bench -p quicspin-bench --bench event_queue
   cargo run --release -p quicspin-spinctl --bin spinctl -- \
     compare --bench BENCH_EVENT_QUEUE.json "$SPINCTL_DIR/event_queue.json" \
+    --bench-band 3.0
+
+  # Profiler bench gate: re-time the scope-boundary benches and compare
+  # against the committed baseline. The wide band absorbs machine
+  # variance; it exists to catch the profiler growing real per-probe
+  # cost, not single-digit drift.
+  BENCH_JSON="$SPINCTL_DIR/profiler.json" \
+    cargo bench -p quicspin-bench --bench profiler
+  cargo run --release -p quicspin-spinctl --bin spinctl -- \
+    compare --bench BENCH_PROFILE.json "$SPINCTL_DIR/profiler.json" \
     --bench-band 3.0
 
   # Zone-scale streamed sweep: 100k domains under a 32 MiB resident
