@@ -18,6 +18,7 @@ pub mod binary;
 pub mod chrome;
 pub mod events;
 pub mod folded;
+pub mod markdown;
 pub mod render;
 pub mod trace;
 
@@ -25,5 +26,8 @@ pub use binary::{decode_trace, encode_trace, BinaryError};
 pub use chrome::{chrome_trace_events, ChromeArgs, ChromeEvent};
 pub use events::{EventData, LoggedEvent, PacketSpace};
 pub use folded::{parse_folded, render_folded, FoldedStack};
+pub use markdown::{
+    heading, millionths_percent, opt_millionths_percent, opt_us_as_ms, us_as_ms, MarkdownTable,
+};
 pub use render::{render_timeline, timeline, TimelineRow};
 pub use trace::{QlogFile, TraceLog};

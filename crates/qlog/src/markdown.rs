@@ -1,0 +1,143 @@
+//! GitHub-flavoured markdown rendering for cross-scenario reports.
+//!
+//! The scenario matrix report (`spinctl matrix` / `spinctl report`)
+//! folds many campaign cells into one `report.md`; this module owns the
+//! low-level rendering so every table in the report aligns, escapes,
+//! and formats numbers the same way. Rendering is pure string work over
+//! already-deterministic inputs, so the emitted markdown is
+//! byte-identical for identical data.
+
+/// A pipe-delimited markdown table accumulated row by row.
+///
+/// Cells are escaped (`|` → `\|`) and the header row fixes the column
+/// count; rows with fewer cells are padded with `-`, the report-wide
+/// placeholder for *absent* (e.g. an artifact a cell never produced).
+#[derive(Debug, Clone)]
+pub struct MarkdownTable {
+    columns: usize,
+    lines: Vec<String>,
+}
+
+impl MarkdownTable {
+    /// Starts a table with the given header cells.
+    pub fn new(header: &[&str]) -> Self {
+        let mut table = MarkdownTable {
+            columns: header.len(),
+            lines: Vec::new(),
+        };
+        table.push_cells(header.iter().map(|h| escape_cell(h)).collect());
+        table
+            .lines
+            .push(format!("|{}", " --- |".repeat(table.columns)));
+        table
+    }
+
+    /// Appends one row; short rows pad with `-`, long rows truncate.
+    pub fn row(&mut self, cells: &[String]) {
+        let mut cells: Vec<String> = cells.iter().map(|c| escape_cell(c)).collect();
+        cells.truncate(self.columns);
+        while cells.len() < self.columns {
+            cells.push("-".to_string());
+        }
+        self.push_cells(cells);
+    }
+
+    fn push_cells(&mut self, cells: Vec<String>) {
+        self.lines.push(format!("| {} |", cells.join(" | ")));
+    }
+
+    /// Renders the table followed by a blank line.
+    pub fn render(&self) -> String {
+        let mut out = self.lines.join("\n");
+        out.push_str("\n\n");
+        out
+    }
+}
+
+fn escape_cell(cell: &str) -> String {
+    let cell = cell.replace('|', "\\|").replace('\n', " ");
+    if cell.is_empty() {
+        "-".to_string()
+    } else {
+        cell
+    }
+}
+
+/// Renders a millionths-encoded fraction as a fixed-point percentage
+/// (`50000` → `5.00%`). Fixed-point keeps the rendering byte-stable —
+/// no float formatting is involved.
+pub fn millionths_percent(millionths: u64) -> String {
+    let hundredths_of_percent = millionths / 100;
+    format!(
+        "{}.{:02}%",
+        hundredths_of_percent / 100,
+        hundredths_of_percent % 100
+    )
+}
+
+/// Renders an optional millionths fraction, `-` when absent.
+pub fn opt_millionths_percent(millionths: Option<u64>) -> String {
+    millionths.map_or_else(|| "-".to_string(), millionths_percent)
+}
+
+/// Renders microseconds as fixed-point milliseconds (`12345` → `12.35ms`
+/// — rounded half-up at the hundredth).
+pub fn us_as_ms(us: u64) -> String {
+    let hundredths = (us * 100 + 500) / 1000; // round to 0.01 ms
+    format!("{}.{:02}ms", hundredths / 100, hundredths % 100)
+}
+
+/// Renders optional microseconds, `-` when absent.
+pub fn opt_us_as_ms(us: Option<u64>) -> String {
+    us.map_or_else(|| "-".to_string(), us_as_ms)
+}
+
+/// A `#`-prefixed heading followed by a blank line.
+pub fn heading(level: usize, text: &str) -> String {
+    format!("{} {}\n\n", "#".repeat(level.clamp(1, 6)), text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_pads_and_escapes() {
+        let mut t = MarkdownTable::new(&["cell", "p50", "p99"]);
+        t.row(&["a|b".to_string(), "1".to_string(), "2".to_string()]);
+        t.row(&["short".to_string()]);
+        t.row(&[
+            "w".to_string(),
+            "x".to_string(),
+            "y".to_string(),
+            "dropped".to_string(),
+        ]);
+        assert_eq!(
+            t.render(),
+            "| cell | p50 | p99 |\n\
+             | --- | --- | --- |\n\
+             | a\\|b | 1 | 2 |\n\
+             | short | - | - |\n\
+             | w | x | y |\n\n"
+        );
+    }
+
+    #[test]
+    fn numeric_renderers_are_fixed_point() {
+        assert_eq!(millionths_percent(50_000), "5.00%");
+        assert_eq!(millionths_percent(1_234_567), "123.45%");
+        assert_eq!(millionths_percent(0), "0.00%");
+        assert_eq!(opt_millionths_percent(None), "-");
+        assert_eq!(us_as_ms(12_345), "12.35ms");
+        assert_eq!(us_as_ms(999), "1.00ms");
+        assert_eq!(us_as_ms(0), "0.00ms");
+        assert_eq!(opt_us_as_ms(None), "-");
+        assert_eq!(opt_us_as_ms(Some(1500)), "1.50ms");
+    }
+
+    #[test]
+    fn headings_clamp_levels() {
+        assert_eq!(heading(2, "Cells"), "## Cells\n\n");
+        assert_eq!(heading(9, "x"), "###### x\n\n");
+    }
+}

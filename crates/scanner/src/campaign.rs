@@ -71,6 +71,12 @@ pub struct CampaignConfig {
     /// [`crate::observe::ObserverView`]). The tap is passive: the records'
     /// measurement fields are identical with and without it.
     pub tap: Option<f64>,
+    /// Scenario-matrix cell id this run belongs to, if it was launched
+    /// from a declarative scenario (see [`crate::scenario`]). Echoed
+    /// into the manifest's config entries as run provenance, so reports
+    /// and `spinctl summary` can show where a run came from. Identical
+    /// across thread counts, so the echo never breaks determinism.
+    pub scenario_cell: Option<String>,
 }
 
 impl Default for CampaignConfig {
@@ -87,6 +93,7 @@ impl Default for CampaignConfig {
             profiler: Arc::new(ProfilerRegistry::disabled()),
             flight: FlightConfig::default(),
             tap: None,
+            scenario_cell: None,
         }
     }
 }
@@ -115,6 +122,9 @@ impl CampaignConfig {
                 "tap_vantage_millionths",
                 crate::observe::vantage_millionths(tap).to_string(),
             ));
+        }
+        if let Some(cell) = &self.scenario_cell {
+            entries.push(entry("scenario_cell", cell.clone()));
         }
         if self.flight.enabled {
             entries.push(entry("flight_seed", format!("{:#018x}", self.flight.seed)));

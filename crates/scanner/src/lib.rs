@@ -23,6 +23,7 @@ pub mod longitudinal;
 pub mod observe;
 pub mod probe;
 pub mod record;
+pub mod scenario;
 pub mod timeseries;
 
 pub use artifacts::{
@@ -48,4 +49,5 @@ pub use observe::{
 pub use probe::{probe_connection, probe_connection_scratch, NetworkConditions, ProbeScratch};
 pub use quicspin_telemetry::{ProgressSnapshot, Registry, RunManifest, TimeSeriesDoc};
 pub use record::{ConnectionRecord, ScanOutcome};
+pub use scenario::{parse_scenario, ScenarioAxis, ScenarioCell, ScenarioMatrix, SWEEP_AXES};
 pub use timeseries::{build_timeseries, chrome_trace_export, TimeSeriesBuilder};

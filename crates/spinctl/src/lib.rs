@@ -39,14 +39,16 @@
 //! thin wrapper around [`run`], which returns the process exit code
 //! (0 = clean, 2 = regressions found; `Err` renders on stderr as 1).
 
+pub mod report;
+
 use quicspin_analysis::Histogram;
 use quicspin_core::reorder::ReorderComparison;
 use quicspin_core::{ObserverConfig, PacketObservation};
 use quicspin_qlog::render_timeline;
 use quicspin_scanner::{
-    chrome_trace_export, profile_folded_stacks, read_anomaly_index, read_flagged_trace,
-    read_observer, read_profile, read_profile_folded, read_run_manifest, read_timeseries,
-    write_chrome_trace, write_flight_recording, write_observer, write_profile,
+    chrome_trace_export, parse_scenario, profile_folded_stacks, read_anomaly_index,
+    read_flagged_trace, read_observer, read_profile, read_profile_folded, read_run_manifest,
+    read_timeseries, write_chrome_trace, write_flight_recording, write_observer, write_profile,
     write_profile_folded, write_run_manifest, write_timeseries, AnomalyIndex, AnomalyKind,
     CampaignConfig, FlightConfig, ObserverDocBuilder, ProbeId, RunManifest, Scanner,
     TimeSeriesBuilder, TimeSeriesDoc, OBSERVER_FILE_NAME,
@@ -89,9 +91,11 @@ USAGE:
     spinctl run       [--dir DIR] [--domains N] [--seed S] [--threads T]
                       [--budget-bytes B] [--record-budget B] [--sample-every K]
                       [--loss P] [--tap P] [--profile]
+    spinctl matrix    <scenario.toml> [--out DIR] [--threads T]
+    spinctl report    [--dir DIR]
     spinctl observe   [--dir DIR] [--limit N]
     spinctl summary   [--dir DIR]
-    spinctl anomalies [--dir DIR] [--kind KIND] [--limit N]
+    spinctl anomalies [--dir DIR] [--kind KIND] [--limit N] [--json]
     spinctl trace     (<probe-id> | --first) [--dir DIR]
     spinctl compare   <run-a> <run-b> [--p99-band X] [--mix-drift D]
     spinctl compare   --bench <a.json> <b.json> [--bench-band X]
@@ -106,7 +110,14 @@ flight recorder armed, and writes metrics.json, anomalies.json,
 traces.bin, timeseries.json, trace.json (Chrome trace-event form; load
 in Perfetto), and observer.json into DIR. --tap P places a passive
 on-path observer at fraction P of the client->server path (default
-0.5; `--tap off` disables it and skips observer.json). `observe`
+0.5; `--tap off` disables it and skips observer.json). `matrix` runs a
+declarative scenario grid (TOML: population, base knobs, sweep axes)
+through the same streamed path — one campaign directory per cell under
+DIR/cells/<id> — then folds every cell into DIR/report.md and
+DIR/report.json (byte-identical at any --threads). `report`
+regenerates both from an existing matrix directory. `anomalies
+--json` emits the listing as a stable machine-readable document
+instead of the table. `observe`
 renders observer.json: per-flow RTT as reconstructed from the middle
 of the path, next to the client's own spin and stack means.
 `compare` diffs two campaign directories — virtual-latency p99s against
@@ -139,6 +150,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
     let rest = &args[1..];
     match cmd.as_str() {
         "run" => cmd_run(rest, out).map(|()| 0),
+        "matrix" => cmd_matrix(rest, out).map(|()| 0),
+        "report" => cmd_report(rest, out).map(|()| 0),
         "observe" => cmd_observe(rest, out).map(|()| 0),
         "summary" => cmd_summary(rest, out).map(|()| 0),
         "anomalies" => cmd_anomalies(rest, out).map(|()| 0),
@@ -415,6 +428,142 @@ fn cmd_run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------------
+// spinctl matrix / report
+// ---------------------------------------------------------------------------
+
+/// Default matrix out-dir when `--out`/`--dir` is not given.
+pub const DEFAULT_MATRIX_DIR: &str = "target/matrix";
+
+fn cmd_matrix(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let args = ParsedArgs::parse(args, &[])?;
+    args.ensure_known(&["out", "threads"])?;
+    let scenario_path = args
+        .positional
+        .first()
+        .ok_or_else(|| format!("matrix needs a scenario file\n\n{USAGE}"))?;
+    if args.positional.len() > 1 {
+        return Err(format!(
+            "unexpected argument {:?}\n\n{USAGE}",
+            args.positional[1]
+        ));
+    }
+    let text = std::fs::read_to_string(scenario_path)
+        .map_err(|e| format!("cannot read scenario {scenario_path}: {e}"))?;
+    let matrix = parse_scenario(&text)?;
+    let out_dir = PathBuf::from(args.get("out").unwrap_or(DEFAULT_MATRIX_DIR));
+    let threads: Option<usize> = match args.get("threads") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("invalid value {raw:?} for --threads"))?,
+        ),
+    };
+    writeln!(
+        out,
+        "scenario {}: {} cells over {} axis(es)",
+        matrix.name,
+        matrix.cells.len(),
+        matrix.axes.len(),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let population = Population::generate(matrix.population.clone());
+    for cell in &matrix.cells {
+        let cell_dir = out_dir.join("cells").join(&cell.id);
+        let mut config = cell.config.clone();
+        if let Some(t) = threads {
+            config.threads = t.max(1);
+        }
+        if cell.profile {
+            config.profiler = Arc::new(ProfilerRegistry::new());
+        }
+        let mut builder = TimeSeriesBuilder::new(DEFAULT_TIMESERIES_CAPACITY);
+        let mut observer = config
+            .tap
+            .map(|p| ObserverDocBuilder::new(&config.campaign_id(), p));
+        let mut rows: u64 = 0;
+        let scanner = Scanner::new(&population);
+        let (recording, manifest) = scanner.run_campaign_streamed_flight_with_progress(
+            &config,
+            cell.record_budget,
+            Duration::from_secs(3600),
+            |_line| {},
+            |batch| {
+                rows += batch.len() as u64;
+                if let Some(observer) = observer.as_mut() {
+                    for i in 0..batch.len() {
+                        observer.note_row(&batch.row(i));
+                    }
+                }
+                builder.push_batch(batch);
+            },
+        );
+        write_run_manifest(&cell_dir, &manifest).map_err(|e| e.to_string())?;
+        write_flight_recording(&cell_dir, &recording).map_err(|e| e.to_string())?;
+        let series = builder.finish(config.campaign_id());
+        write_timeseries(&cell_dir, &series).map_err(|e| e.to_string())?;
+        let events = chrome_trace_export(&recording);
+        write_chrome_trace(&cell_dir, &events).map_err(|e| e.to_string())?;
+        if let Some(observer) = observer {
+            write_observer(&cell_dir, &observer.finish()).map_err(|e| e.to_string())?;
+        }
+        if config.profiler.is_enabled() {
+            let snapshot = config.profiler.snapshot();
+            write_profile(&cell_dir, &snapshot.doc()).map_err(|e| e.to_string())?;
+            let stacks = profile_folded_stacks(&snapshot);
+            write_profile_folded(&cell_dir, &stacks).map_err(|e| e.to_string())?;
+        }
+        writeln!(
+            out,
+            "cell {}: {} records, {} anomalies -> {}",
+            cell.id,
+            rows,
+            recording.anomalies().len(),
+            cell_dir.display(),
+        )
+        .map_err(|e| e.to_string())?;
+    }
+
+    let layout = report::MatrixLayout::from_matrix(&matrix);
+    let layout_path = report::write_matrix_layout(&out_dir, &layout)?;
+    writeln!(out, "wrote {}", layout_path.display()).map_err(|e| e.to_string())?;
+    let (doc, md) = report::generate(&out_dir)?;
+    let (md_path, json_path) = report::write_report(&out_dir, &doc, &md)?;
+    writeln!(
+        out,
+        "wrote {} and {} ({} cells, baseline {})",
+        md_path.display(),
+        json_path.display(),
+        doc.cells.len(),
+        doc.baseline,
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn cmd_report(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let args = ParsedArgs::parse(args, &[])?;
+    args.ensure_known(&["dir"])?;
+    if !args.positional.is_empty() {
+        return Err(format!(
+            "unexpected argument {:?}\n\n{USAGE}",
+            args.positional[0]
+        ));
+    }
+    let dir = PathBuf::from(args.get("dir").unwrap_or(DEFAULT_MATRIX_DIR));
+    let (doc, md) = report::generate(&dir)?;
+    let (md_path, json_path) = report::write_report(&dir, &doc, &md)?;
+    writeln!(
+        out,
+        "wrote {} and {} ({} cells, baseline {})",
+        md_path.display(),
+        json_path.display(),
+        doc.cells.len(),
+        doc.baseline,
+    )
+    .map_err(|e| e.to_string())
+}
+
+// ---------------------------------------------------------------------------
 // spinctl observe
 // ---------------------------------------------------------------------------
 
@@ -630,8 +779,46 @@ fn cmd_summary(args: &[String], out: &mut dyn Write) -> Result<(), String> {
 // spinctl anomalies
 // ---------------------------------------------------------------------------
 
+/// Schema version of [`AnomalyListDoc`].
+pub const ANOMALY_LIST_SCHEMA_VERSION: u32 = 1;
+
+/// Machine-readable `spinctl anomalies --json` output: the same listing
+/// as the table (kind filter and limit applied), stable schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyListDoc {
+    /// Schema version ([`ANOMALY_LIST_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Deterministic campaign identifier.
+    pub campaign: String,
+    /// Kind filter applied, if any (kebab-case name).
+    pub kind: Option<String>,
+    /// Anomalies matching the filter, before the limit.
+    pub total: u64,
+    /// Anomalies included below (`min(total, limit)`).
+    pub shown: u64,
+    /// The listed anomalies, index order.
+    pub anomalies: Vec<AnomalyListRow>,
+}
+
+/// One anomaly inside an [`AnomalyListDoc`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyListRow {
+    /// Probe id, `domain` or `domain:hop` form.
+    pub probe: String,
+    /// Kebab-case anomaly kind name.
+    pub kind: String,
+    /// Retention priority.
+    pub severity: u32,
+    /// Kind-specific magnitude.
+    pub value: f64,
+    /// Human-readable one-liner.
+    pub detail: String,
+    /// Whether the probe's binary trace survives in traces.bin.
+    pub trace_retained: bool,
+}
+
 fn cmd_anomalies(args: &[String], out: &mut dyn Write) -> Result<(), String> {
-    let args = ParsedArgs::parse(args, &[])?;
+    let args = ParsedArgs::parse(args, &["json"])?;
     args.ensure_known(&["dir", "kind", "limit"])?;
     let dir = args.dir();
     let limit: usize = args.get_parsed("limit", 20)?;
@@ -651,6 +838,30 @@ fn cmd_anomalies(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         .iter()
         .filter(|a| kind.is_none_or(|k| a.kind == k))
         .collect();
+    if args.has("json") {
+        let doc = AnomalyListDoc {
+            schema_version: ANOMALY_LIST_SCHEMA_VERSION,
+            campaign: index.campaign_id.clone(),
+            kind: kind.map(|k| k.name().to_string()),
+            total: selected.len() as u64,
+            shown: selected.len().min(limit) as u64,
+            anomalies: selected
+                .iter()
+                .take(limit)
+                .map(|a| AnomalyListRow {
+                    probe: a.probe.to_string(),
+                    kind: a.kind.name().to_string(),
+                    severity: a.severity,
+                    value: a.value,
+                    detail: a.detail.clone(),
+                    trace_retained: index.slot(a.probe).is_some(),
+                })
+                .collect(),
+        };
+        let json = serde_json::to_string_pretty(&doc)
+            .map_err(|e| format!("cannot encode anomaly listing: {e}"))?;
+        return writeln!(out, "{json}").map_err(|e| e.to_string());
+    }
     writeln!(
         out,
         "{} anomalies{} ({} shown); * = trace retained",
@@ -1775,5 +1986,208 @@ mod tests {
         assert!(out.contains("scanner/probe"), "out: {out}");
 
         let _ = std::fs::remove_dir_all(&base);
+    }
+
+    /// A small 2-cell scenario for the matrix tests: loss sweep, tap,
+    /// profiler on, so every artifact kind is exercised.
+    const MATRIX_SCENARIO: &str = r#"
+[scenario]
+name = "smoke"
+description = "matrix test grid"
+
+[population]
+seed = 9
+toplist_domains = 12
+zone_domains = 78
+
+[campaign]
+seed = 9
+record_budget_bytes = 16384
+sample_every = 16
+profile = true
+
+[sweep]
+loss = [0.0, 0.05]
+vantage = [0.5]
+"#;
+
+    #[test]
+    fn matrix_reports_are_thread_invariant_and_tolerate_missing_artifacts() {
+        let base = temp_dir("matrix");
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let scenario = base.join("smoke.toml");
+        std::fs::write(&scenario, MATRIX_SCENARIO).unwrap();
+        let scenario_s = scenario.to_str().unwrap();
+
+        let out_a = base.join("t1");
+        let out_b = base.join("t4");
+        for (dir, threads) in [(&out_a, "1"), (&out_b, "4")] {
+            let ran = run_str(&[
+                "matrix",
+                scenario_s,
+                "--out",
+                dir.to_str().unwrap(),
+                "--threads",
+                threads,
+            ])
+            .unwrap();
+            assert!(ran.contains("scenario smoke: 2 cells"), "out: {ran}");
+            assert!(ran.contains("report.md"), "out: {ran}");
+        }
+        let read = |dir: &Path, name: &str| std::fs::read(dir.join(name)).unwrap();
+        for artifact in [
+            report::REPORT_MD_FILE_NAME,
+            report::REPORT_JSON_FILE_NAME,
+            report::MATRIX_FILE_NAME,
+        ] {
+            assert_eq!(
+                read(&out_a, artifact),
+                read(&out_b, artifact),
+                "{artifact} must be byte-identical across --threads"
+            );
+        }
+
+        // The report renders every artifact kind for cells that have
+        // them: metrics (provenance), timeseries (grid), anomalies,
+        // observer, profile, plus the per-cell links.
+        let md = String::from_utf8(read(&out_a, report::REPORT_MD_FILE_NAME)).unwrap();
+        for section in [
+            "## Grid",
+            "## Classification mix",
+            "## Anomalies",
+            "## Observer",
+            "## Profile",
+            "## Axis: loss",
+            "## Provenance",
+            "## Artifacts",
+        ] {
+            assert!(md.contains(section), "missing {section}:\n{md}");
+        }
+        assert!(md.contains("scenario_cell"), "no provenance echo:\n{md}");
+        assert!(md.contains("trace.json"), "no perfetto link:\n{md}");
+        assert!(md.contains("profile.folded"), "no flamegraph link:\n{md}");
+
+        // The cell id lands in metrics.json as run provenance, and
+        // summary (printing all config entries) displays it.
+        let cell_dir = out_a.join("cells").join("loss0-vantage500000");
+        let manifest = read_run_manifest(&cell_dir).unwrap();
+        assert!(
+            manifest
+                .config
+                .iter()
+                .any(|e| e.key == "scenario_cell" && e.value == "loss0-vantage500000"),
+            "scenario_cell missing from manifest config: {:?}",
+            manifest.config
+        );
+        let summary = run_str(&["summary", "--dir", cell_dir.to_str().unwrap()]).unwrap();
+        assert!(summary.contains("scenario_cell"), "out: {summary}");
+        assert!(summary.contains("loss0-vantage500000"), "out: {summary}");
+
+        // Missing optional artifacts: one regression check per kind.
+        // Deleting observer.json, profile.json, or traces.bin from a
+        // cell must leave report/summary/trend working, rendering "-"
+        // (or skipping the section) instead of erroring.
+        let cell = |id: &str| out_a.join("cells").join(id);
+        std::fs::remove_file(cell("loss0-vantage500000").join("observer.json")).unwrap();
+        std::fs::remove_file(cell("loss50000-vantage500000").join("profile.json")).unwrap();
+        std::fs::remove_file(cell("loss50000-vantage500000").join("traces.bin")).unwrap();
+        let regenerated = run_str(&["report", "--dir", out_a.to_str().unwrap()]).unwrap();
+        assert!(regenerated.contains("report.md"), "out: {regenerated}");
+        let md = String::from_utf8(read(&out_a, report::REPORT_MD_FILE_NAME)).unwrap();
+        assert!(
+            md.contains("| `loss0-vantage500000` | - | - | - | - | - |"),
+            "missing observer.json must render a dash row:\n{md}"
+        );
+        assert!(
+            md.contains("| `loss50000-vantage500000` | - | - | - | - |"),
+            "missing profile.json must render a dash row:\n{md}"
+        );
+        let trace_links = md.lines().filter(|l| l.contains("[traces.bin]")).count();
+        assert_eq!(
+            trace_links, 1,
+            "missing traces.bin must drop to a dash link:\n{md}"
+        );
+        for id in ["loss0-vantage500000", "loss50000-vantage500000"] {
+            let dir_s = cell(id).into_os_string().into_string().unwrap();
+            let summary = run_str(&["summary", "--dir", &dir_s]).unwrap();
+            assert!(summary.contains("campaign run manifest"), "out: {summary}");
+            let trend = run_str(&["trend", &dir_s]).unwrap();
+            assert!(trend.contains("campaign trend (1 runs)"), "out: {trend}");
+        }
+
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn matrix_usage_and_scenario_errors_are_one_line() {
+        let err = run_str(&["matrix"]).unwrap_err();
+        assert!(err.contains("scenario file"), "err: {err}");
+        let err = run_str(&["matrix", "/nonexistent/quicspin.toml"]).unwrap_err();
+        assert!(err.contains("cannot read scenario"), "err: {err}");
+        assert!(!err.trim().contains('\n'), "err spans lines: {err}");
+
+        let base = temp_dir("matrix-err");
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let bad = base.join("bad.toml");
+        std::fs::write(&bad, "[scenario]\nname = \"x\"\n[sweep]\n").unwrap();
+        let err = run_str(&["matrix", bad.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err, "scenario error: empty matrix: [sweep] defines no axes");
+
+        // `report` without a matrix directory fails on matrix.json.
+        let err = run_str(&["report", "--dir", base.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("cannot read scenario matrix"), "err: {err}");
+        assert!(err.contains("matrix.json"), "err: {err}");
+
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn anomalies_json_round_trips() {
+        let dir = temp_dir("anomalies-json");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap();
+        run_str(&[
+            "run",
+            "--dir",
+            dir_s,
+            "--domains",
+            "220",
+            "--seed",
+            "9",
+            "--sample-every",
+            "16",
+        ])
+        .unwrap();
+
+        let json = run_str(&["anomalies", "--dir", dir_s, "--json", "--limit", "5"]).unwrap();
+        let doc: AnomalyListDoc = serde_json::from_str(&json).expect("parseable --json output");
+        assert_eq!(doc.schema_version, ANOMALY_LIST_SCHEMA_VERSION);
+        assert!(doc.campaign.starts_with("week0-V4-seed"), "{doc:?}");
+        assert_eq!(doc.kind, None);
+        assert!(doc.total > 0, "campaign produced no anomalies");
+        assert_eq!(doc.shown, doc.total.min(5));
+        assert_eq!(doc.anomalies.len() as u64, doc.shown);
+        // Round trip: re-serializing reproduces the CLI output exactly.
+        let reserialized = serde_json::to_string_pretty(&doc).unwrap();
+        assert_eq!(json.trim_end(), reserialized);
+
+        // The kind filter is echoed into the document.
+        let index = read_anomaly_index(&dir).unwrap();
+        let (kind, n) = index.counts_by_kind()[0];
+        let json =
+            run_str(&["anomalies", "--dir", dir_s, "--json", "--kind", kind.name()]).unwrap();
+        let doc: AnomalyListDoc = serde_json::from_str(&json).unwrap();
+        assert_eq!(doc.kind.as_deref(), Some(kind.name()));
+        assert_eq!(doc.total, n as u64);
+        assert!(doc.anomalies.iter().all(|a| a.kind == kind.name()));
+        // trace_retained mirrors the index's retention slots.
+        for row in &doc.anomalies {
+            let probe: ProbeId = row.probe.parse().unwrap();
+            assert_eq!(row.trace_retained, index.slot(probe).is_some());
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -280,6 +280,25 @@ impl LatencyHistogram {
         // vice versa); renormalize so quantile ranks stay in range.
         let bucket_total: u64 = shard.buckets.iter().sum();
         shard.count = bucket_total;
+        // The same race can surface occupied buckets while min/max still
+        // hold the empty-state inverted pair (u64::MAX, 0) — `clamp` in
+        // `quantile` panics on an inverted range. Rebuild a consistent
+        // envelope from the occupied buckets.
+        if shard.min > shard.max {
+            match (
+                shard.buckets.iter().position(|&n| n > 0),
+                shard.buckets.iter().rposition(|&n| n > 0),
+            ) {
+                (Some(lo), Some(hi)) => {
+                    shard.min = bucket_bounds(lo).0;
+                    shard.max = bucket_bounds(hi).1.saturating_sub(1);
+                }
+                _ => {
+                    shard.min = 0;
+                    shard.max = 0;
+                }
+            }
+        }
         shard
     }
 
@@ -635,5 +654,21 @@ mod tests {
         let mut expect = a.clone();
         expect.merge(&b);
         assert_eq!(atomic.to_shard(), expect);
+    }
+
+    #[test]
+    fn torn_snapshot_with_stale_min_max_yields_sane_quantiles() {
+        // A progress monitor's to_shard() can race a record(): the bucket
+        // increment lands but min/max still hold the empty-state inverted
+        // pair (u64::MAX, 0). The snapshot must repair the envelope from
+        // the occupied buckets instead of panicking in quantile's clamp.
+        let atomic = LatencyHistogram::default();
+        atomic.buckets[bucket_index(5_000)].fetch_add(1, Ordering::Relaxed);
+        let shard = atomic.to_shard();
+        assert_eq!(shard.count(), 1);
+        assert!(shard.min() <= shard.max());
+        let (lo, hi) = bucket_bounds(bucket_index(5_000));
+        let p50 = shard.quantile(0.50);
+        assert!((lo..hi).contains(&p50), "p50 = {p50} outside [{lo}, {hi})");
     }
 }

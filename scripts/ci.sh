@@ -76,6 +76,26 @@ cargo run --release -p quicspin-spinctl --bin spinctl -- \
 cargo run --release -p quicspin-spinctl --bin spinctl -- \
   profile --diff "$SPINCTL_DIR/p" "$SPINCTL_DIR/p"
 
+# Matrix smoke: the committed loss×vantage scenario (a 2×2 grid) runs
+# twice, at --threads 1 and --threads 4; report.md and report.json must
+# come out byte-identical. A malformed scenario must fail the exit-code
+# contract (exit 1 with a one-line `scenario error:` diagnostic).
+cargo run --release -p quicspin-spinctl --bin spinctl -- \
+  matrix examples/scenarios/loss_vantage.toml --out "$SPINCTL_DIR/mx1" --threads 1
+cargo run --release -p quicspin-spinctl --bin spinctl -- \
+  matrix examples/scenarios/loss_vantage.toml --out "$SPINCTL_DIR/mx4" --threads 4
+cmp "$SPINCTL_DIR/mx1/report.md" "$SPINCTL_DIR/mx4/report.md"
+cmp "$SPINCTL_DIR/mx1/report.json" "$SPINCTL_DIR/mx4/report.json"
+cargo run --release -p quicspin-spinctl --bin spinctl -- \
+  report --dir "$SPINCTL_DIR/mx1"
+cmp "$SPINCTL_DIR/mx1/report.md" "$SPINCTL_DIR/mx4/report.md"
+printf '[scenario]\nname = "broken"\n[sweep]\n' > "$SPINCTL_DIR/broken.toml"
+if cargo run --release -p quicspin-spinctl --bin spinctl -- \
+  matrix "$SPINCTL_DIR/broken.toml" --out "$SPINCTL_DIR/broken" 2>/dev/null; then
+  echo "ERROR: matrix did not fail on a malformed scenario" >&2
+  exit 1
+fi
+
 # Overhead gate: the profiler must stay inside its 3% per-probe budget.
 # The probe_profiled bench interleaves the profiled and unprofiled case
 # in one process and its min_ns is each case's noise floor. Timing
